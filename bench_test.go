@@ -1,0 +1,141 @@
+package voltsmooth
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// micro-benchmarks of the simulation hot paths. The figure benchmarks run
+// at the tiny experiment scale against a session whose shared corpora and
+// oracle tables are pre-built once (building them is benchmarked
+// separately as BenchmarkCorpusBuild / BenchmarkPairTableBuild), so each
+// reported time is the cost of regenerating that figure's analysis.
+
+import (
+	"sync"
+	"testing"
+
+	"voltsmooth/internal/experiments"
+	"voltsmooth/internal/pdn"
+	"voltsmooth/internal/uarch"
+	"voltsmooth/internal/workload"
+)
+
+var (
+	benchOnce sync.Once
+	benchSess *experiments.Session
+)
+
+// benchSession returns the shared, pre-warmed session.
+func benchSession(b *testing.B) *experiments.Session {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSess = experiments.NewSession(experiments.Tiny())
+		// Pre-build the shared measurements so figure benchmarks time
+		// analysis, not corpus construction.
+		benchSess.Corpus(pdn.Proc100)
+		benchSess.Corpus(pdn.Proc25)
+		benchSess.Corpus(pdn.Proc3)
+		benchSess.PairTable(pdn.Proc3)
+	})
+	return benchSess
+}
+
+// benchExperiment times one registered experiment end to end.
+func benchExperiment(b *testing.B, id string) {
+	s := benchSession(b)
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := e.Run(s).Render(); len(out) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+func BenchmarkFig01ProjectedSwings(b *testing.B)    { benchExperiment(b, "fig1") }
+func BenchmarkFig02MarginFrequency(b *testing.B)    { benchExperiment(b, "fig2") }
+func BenchmarkFig04ImpedanceProfile(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig06DecapReset(b *testing.B)         { benchExperiment(b, "fig6") }
+func BenchmarkFig07CorpusCDF(b *testing.B)          { benchExperiment(b, "fig7") }
+func BenchmarkFig08MarginSweep(b *testing.B)        { benchExperiment(b, "fig8") }
+func BenchmarkFig09FutureCDFs(b *testing.B)         { benchExperiment(b, "fig9") }
+func BenchmarkFig10Heatmaps(b *testing.B)           { benchExperiment(b, "fig10") }
+func BenchmarkFig11TLBTrace(b *testing.B)           { benchExperiment(b, "fig11") }
+func BenchmarkFig12EventSwings(b *testing.B)        { benchExperiment(b, "fig12") }
+func BenchmarkFig13InterferenceMatrix(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14NoisePhases(b *testing.B)        { benchExperiment(b, "fig14") }
+func BenchmarkFig15StallCorrelation(b *testing.B)   { benchExperiment(b, "fig15") }
+func BenchmarkFig16SlidingWindow(b *testing.B)      { benchExperiment(b, "fig16") }
+func BenchmarkFig17CoScheduleSpread(b *testing.B)   { benchExperiment(b, "fig17") }
+func BenchmarkFig18PolicyScatter(b *testing.B)      { benchExperiment(b, "fig18") }
+func BenchmarkFig19PassingIncrease(b *testing.B)    { benchExperiment(b, "fig19") }
+func BenchmarkTab1PassingAnalysis(b *testing.B)     { benchExperiment(b, "tab1") }
+
+// BenchmarkCorpusBuild times construction of one decap variant's full run
+// corpus (the pre-run measurement phase shared by Figs 7–10 and Tab I).
+func BenchmarkCorpusBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(experiments.Tiny())
+		s.Corpus(pdn.Proc100)
+	}
+}
+
+// BenchmarkPairTableBuild times construction of the scheduling oracle.
+func BenchmarkPairTableBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(experiments.Tiny())
+		s.PairTable(pdn.Proc3)
+	}
+}
+
+// BenchmarkChipCycle measures the simulator hot path: one chip cycle with
+// both cores executing (instruction issue + current model + PDN step).
+func BenchmarkChipCycle(b *testing.B) {
+	chip := uarch.NewChip(uarch.DefaultConfig())
+	p, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := workload.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	chip.SetStream(0, p.NewStream())
+	chip.SetStream(1, q.NewStream())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chip.Cycle()
+	}
+}
+
+// BenchmarkPDNStep measures one power-delivery integration step.
+func BenchmarkPDNStep(b *testing.B) {
+	n := pdn.NewAtLoad(pdn.Core2Duo(), 20)
+	dt := 1 / (1.86e9 * 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step(dt, 20+float64(i&15))
+	}
+}
+
+// BenchmarkStreamNext measures synthetic instruction generation.
+func BenchmarkStreamNext(b *testing.B) {
+	p, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := p.NewStream()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Next()
+	}
+}
+
+// BenchmarkImpedanceSolve measures the analytic frequency-domain solve.
+func BenchmarkImpedanceSolve(b *testing.B) {
+	n := pdn.New(pdn.Core2Duo())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.ImpedanceMag(1e6 + float64(i&1023)*1e5)
+	}
+}

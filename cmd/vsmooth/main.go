@@ -1,0 +1,97 @@
+// Command vsmooth regenerates the tables and figures of "Voltage
+// Smoothing: Characterizing and Mitigating Voltage Noise in Production
+// Processors via Software-Guided Thread Scheduling" (MICRO 2010) on the
+// simulated Core 2 Duo platform.
+//
+// Usage:
+//
+//	vsmooth list                 # show available experiments
+//	vsmooth run fig8             # regenerate one figure
+//	vsmooth run fig8 fig10 tab1  # several (shared measurements are cached)
+//	vsmooth run all              # everything
+//	vsmooth -scale full run all  # full-fidelity sweep (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"voltsmooth/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "quick", "experiment scale: tiny|quick|full")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	switch args[0] {
+	case "list":
+		list()
+	case "run":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "vsmooth: run needs at least one experiment id (or `all`)")
+			os.Exit(2)
+		}
+		if err := run(*scaleName, args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "vsmooth:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "vsmooth: unknown command %q\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: vsmooth [-scale tiny|quick|full] <command>
+
+commands:
+  list                list all experiments
+  run <id>... | all   regenerate the given figures/tables
+`)
+}
+
+func list() {
+	for _, e := range experiments.All() {
+		fmt.Printf("%-7s %s\n", e.ID, e.Title)
+	}
+}
+
+func run(scaleName string, ids []string) error {
+	scale, err := experiments.ScaleByName(scaleName)
+	if err != nil {
+		return err
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = ids[:0]
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	entries := make([]experiments.Entry, 0, len(ids))
+	for _, id := range ids {
+		e, err := experiments.Lookup(id)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, e)
+	}
+
+	session := experiments.NewSession(scale)
+	for _, e := range entries {
+		start := time.Now()
+		result := e.Run(session)
+		fmt.Printf("### %s — %s  (scale=%s, %.1fs)\n\n", e.ID, e.Title, scale.Name, time.Since(start).Seconds())
+		fmt.Println(result.Render())
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+// Package voltsmooth reproduces "Voltage Smoothing: Characterizing and
+// Mitigating Voltage Noise in Production Processors via Software-Guided
+// Thread Scheduling" (Reddi, Kanev, Kim, Campanoni, Smith, Wei, Brooks —
+// MICRO 2010) as a pure-Go simulation study.
+//
+// The paper measures a physical Intel Core 2 Duo; this module replaces
+// every physical component with a simulated equivalent and rebuilds the
+// paper's entire evaluation on top:
+//
+//   - internal/pdn      — the power-delivery network (RLC ladder, decap
+//     removal, VRM regulation, impedance analysis)
+//   - internal/uarch    — the 2-core chip whose stall events drive current
+//   - internal/workload — synthetic SPEC CPU2006 / PARSEC stand-ins and
+//     the hand-crafted stall microbenchmarks
+//   - internal/sense    — the oscilloscope: histograms, droop/emergency
+//     counting
+//   - internal/counters — VTune-style performance counters (stall ratio)
+//   - internal/resilient— the typical-case design performance model
+//   - internal/sched    — the voltage-noise-aware thread scheduler
+//   - internal/experiments — one runner per paper table and figure
+//
+// The root-level benchmarks (bench_test.go) time the regeneration of every
+// table and figure; cmd/vsmooth prints them.
+package voltsmooth

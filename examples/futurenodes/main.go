@@ -1,0 +1,67 @@
+// Futurenodes walks the paper's extrapolation story: remove package
+// decoupling capacitance from a working chip (Sec II-B), watch the
+// impedance profile and reset droops grow, and project the technology
+// trend (Fig 1) that the decap-removal heuristic is meant to resemble.
+//
+//	go run ./examples/futurenodes
+package main
+
+import (
+	"fmt"
+
+	"voltsmooth/internal/core"
+	"voltsmooth/internal/pdn"
+	"voltsmooth/internal/technode"
+	"voltsmooth/internal/uarch"
+	"voltsmooth/internal/workload"
+)
+
+func main() {
+	fmt.Println("impedance growth as package capacitors are removed:")
+	fmt.Printf("  %-8s %12s %12s %14s\n", "proc", "|Z(1MHz)|", "peak |Z|", "resonance")
+	for _, v := range pdn.AllVariants() {
+		n := pdn.New(pdn.Core2Duo().WithCapFraction(v.CapFraction))
+		f, m := n.ResonancePeak(1e6, 1e9, 400)
+		fmt.Printf("  %-8s %9.3f mΩ %9.3f mΩ %10.0f MHz\n",
+			v.Name, n.ImpedanceMag(1e6)*1e3, m*1e3, f/1e6)
+	}
+
+	fmt.Println("\nreset-stimulus droops (Figs 5m–r, 6):")
+	for _, r := range pdn.ResetExperiment(pdn.DefaultResetConfig(), pdn.AllVariants()) {
+		status := "boots"
+		if !r.BootsStably {
+			status = "FAILS stability testing"
+		}
+		fmt.Printf("  %-8s droop %5.0f mV  swing %.2fx Proc100  (%s)\n",
+			r.Variant.Name, r.DroopVolts*1e3, r.RelativeP2P, status)
+	}
+
+	fmt.Println("\nworkload noise on today's chip vs the future stand-ins:")
+	prog, _ := workload.ByName("sphinx")
+	for _, v := range []pdn.ProcVariant{pdn.Proc100, pdn.Proc25, pdn.Proc3} {
+		cfg := uarch.DefaultConfig()
+		cfg.PDN = cfg.PDN.WithCapFraction(v.CapFraction)
+		res := core.RunSingle(cfg, prog.NewStream(), core.RunConfig{
+			Cycles: 300_000, WarmupCycles: 25_000,
+		})
+		fmt.Printf("  %-8s sphinx: deepest droop %5.2f%%, %5.2f%% of samples beyond -4%%\n",
+			v.Name, res.Scope.MinDroopPercent(),
+			100*res.Scope.FractionBeyond(core.TypicalMargin))
+	}
+
+	fmt.Println("\ntechnology projection the heuristic resembles (Fig 1):")
+	for _, p := range technode.ProjectSwings(technode.DefaultProjectionConfig(), technode.Nodes()) {
+		fmt.Printf("  %-5s Vdd %.2f V: swing %.1f%% of Vdd  (%.2fx the 45nm node)\n",
+			p.Node.Name, p.Node.Vdd, 100*p.SwingFrac, p.Relative)
+	}
+
+	osc := technode.DefaultRingOscillator()
+	fmt.Println("\nwhat margins cost in clock frequency (Fig 2):")
+	for _, nd := range technode.Nodes()[:4] {
+		fmt.Printf("  %-5s 10%% margin → %5.1f%% of peak clock; 20%% → %5.1f%%; 40%% → %5.1f%%\n",
+			nd.Name,
+			osc.PeakFreqPercent(nd.Vdd, 0.10),
+			osc.PeakFreqPercent(nd.Vdd, 0.20),
+			osc.PeakFreqPercent(nd.Vdd, 0.40))
+	}
+}

@@ -1,0 +1,60 @@
+// Quickstart: build the simulated Core 2 Duo platform, run one SPEC-like
+// benchmark on core 0, and print the voltage-noise profile the paper's
+// measurement rig would report — droop counts, extremes, stall ratio, IPC.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voltsmooth/internal/core"
+	"voltsmooth/internal/uarch"
+	"voltsmooth/internal/workload"
+)
+
+func main() {
+	// The default configuration is the paper's platform: a 2-core,
+	// 1.86 GHz chip on the Core2Duo power-delivery network.
+	cfg := uarch.DefaultConfig()
+
+	prog, err := workload.ByName("mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run 429.mcf alone on core 0 for half a million cycles, tracking the
+	// default margin set (1%…14% plus the characterization margins).
+	res := core.RunSingle(cfg, prog.NewStream(), core.RunConfig{
+		Cycles:       500_000,
+		WarmupCycles: 30_000,
+	})
+
+	fmt.Println("voltage-noise profile of", res.Names[0])
+	fmt.Printf("  cycles measured:     %d\n", res.Cycles)
+	fmt.Printf("  IPC:                 %.3f\n", res.IPC(0))
+	fmt.Printf("  stall ratio:         %.3f\n", res.StallRatio(0))
+	fmt.Printf("  droops per 1K cycles (1%% margin):  %.1f\n", res.DroopsPerKCycle(core.PhaseMargin))
+	fmt.Printf("  droops per 1K cycles (4%% margin):  %.2f\n", res.DroopsPerKCycle(core.TypicalMargin))
+	fmt.Printf("  deepest droop:       %.2f%% of nominal\n", res.Scope.MinDroopPercent())
+	fmt.Printf("  highest overshoot:   %.2f%%\n", res.Scope.MaxOvershootPercent())
+	fmt.Printf("  peak-to-peak swing:  %.2f%%\n", res.Scope.PeakToPeakPercent())
+	fmt.Printf("  samples beyond -4%%:  %.4f%%\n", 100*res.Scope.FractionBeyond(core.TypicalMargin))
+
+	// The same program co-scheduled with a quiet FP code: chip-wide
+	// droops stay close to the single-core level (the destructive
+	// interference the paper's Droop scheduler exploits).
+	quiet, err := workload.ByName("namd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pair := core.RunPair(cfg, prog.NewStream(), quiet.NewStream(), core.RunConfig{
+		Cycles:       500_000,
+		WarmupCycles: 30_000,
+	})
+	fmt.Println("\nco-scheduled with", pair.Names[1])
+	fmt.Printf("  combined IPC:        %.3f\n", pair.TotalIPC())
+	fmt.Printf("  droops per 1K cycles (1%% margin):  %.1f\n", pair.DroopsPerKCycle(core.PhaseMargin))
+	fmt.Printf("  deepest droop:       %.2f%%\n", pair.Scope.MinDroopPercent())
+}

@@ -1,0 +1,3 @@
+module voltsmooth
+
+go 1.22

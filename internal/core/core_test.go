@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"voltsmooth/internal/uarch"
+	"voltsmooth/internal/workload"
+)
+
+func quickRC(cycles uint64) RunConfig {
+	return RunConfig{Cycles: cycles, WarmupCycles: 2000}
+}
+
+func TestDefaultMarginsContainKeyValues(t *testing.T) {
+	ms := DefaultMargins()
+	found := map[string]bool{}
+	for _, m := range ms {
+		if m == PhaseMargin {
+			found["phase"] = true
+		}
+		if math.Abs(m-TypicalMargin) < 1e-9 {
+			found["typical"] = true
+		}
+		if math.Abs(m-WorstCaseMargin) < 1e-9 {
+			found["worst"] = true
+		}
+	}
+	for _, k := range []string{"phase", "typical", "worst"} {
+		if !found[k] {
+			t.Errorf("DefaultMargins missing the %s margin", k)
+		}
+	}
+}
+
+func TestRunSingleBasics(t *testing.T) {
+	p, _ := workload.ByName("hmmer")
+	res := RunSingle(uarch.DefaultConfig(), p.NewStream(), quickRC(50000))
+	if res.Names[0] != "hmmer" || res.Names[1] != "idle" {
+		t.Errorf("names = %v", res.Names)
+	}
+	if res.Cycles != 50000 {
+		t.Errorf("cycles = %d", res.Cycles)
+	}
+	if res.Counters[0].Cycles != 50000 {
+		t.Errorf("core 0 measured %d cycles, want 50000", res.Counters[0].Cycles)
+	}
+	if res.IPC(0) <= 0 {
+		t.Error("hmmer retired nothing")
+	}
+	if res.IPC(1) != 0 {
+		t.Error("idle core retired instructions")
+	}
+	if res.Scope.Samples() != 50000 {
+		t.Errorf("scope sampled %d, want one per cycle", res.Scope.Samples())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p, _ := workload.ByName("gcc")
+	a := RunSingle(uarch.DefaultConfig(), p.NewStream(), quickRC(30000))
+	b := RunSingle(uarch.DefaultConfig(), p.NewStream(), quickRC(30000))
+	if a.IPC(0) != b.IPC(0) || a.Scope.MinDroopPercent() != b.Scope.MinDroopPercent() {
+		t.Error("identical runs measured differently")
+	}
+}
+
+func TestRunWarmupExcluded(t *testing.T) {
+	p, _ := workload.ByName("hmmer")
+	cold := RunSingle(uarch.DefaultConfig(), p.NewStream(), RunConfig{Cycles: 10000})
+	warm := RunSingle(uarch.DefaultConfig(), p.NewStream(), RunConfig{Cycles: 10000, WarmupCycles: 5000})
+	// Both runs must report exactly the measured window in counters.
+	if cold.Counters[0].Cycles != 10000 || warm.Counters[0].Cycles != 10000 {
+		t.Errorf("windows wrong: %d, %d", cold.Counters[0].Cycles, warm.Counters[0].Cycles)
+	}
+}
+
+func TestDroopSeriesLength(t *testing.T) {
+	p, _ := workload.ByName("sphinx")
+	rc := RunConfig{Cycles: 40000, IntervalCycles: 10000}
+	res := RunSingle(uarch.DefaultConfig(), p.NewStream(), rc)
+	if len(res.DroopSeries) != 4 {
+		t.Errorf("series has %d points, want 4", len(res.DroopSeries))
+	}
+	for i, v := range res.DroopSeries {
+		if v < 0 {
+			t.Errorf("negative droop rate at interval %d: %g", i, v)
+		}
+	}
+}
+
+func TestPairProducesMoreNoiseThanSingle(t *testing.T) {
+	// Sec III-C: multi-core activity amplifies chip-wide swings; running
+	// a noisy program on both cores must not *reduce* peak-to-peak swing.
+	p, _ := workload.ByName("sphinx")
+	cfg := uarch.DefaultConfig()
+	single := RunSingle(cfg, p.NewStream(), quickRC(80000))
+	pair := RunPair(cfg, p.NewStream(), p.NewStream(), quickRC(80000))
+	if pair.Scope.PeakToPeakPercent() < single.Scope.PeakToPeakPercent() {
+		t.Errorf("pair p2p %.2f%% < single %.2f%%",
+			pair.Scope.PeakToPeakPercent(), single.Scope.PeakToPeakPercent())
+	}
+}
+
+func TestTooManyStreamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(uarch.DefaultConfig(), make([]workload.Stream, 3), quickRC(10))
+}
+
+func TestZeroCyclesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RunSingle(uarch.DefaultConfig(), nil, RunConfig{})
+}
+
+func TestFindWorstCaseMargin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("undervolt sweep is slow")
+	}
+	m := FindWorstCaseMargin(uarch.DefaultConfig(), VCrit, 60000, 0.01)
+	if math.Abs(m.MarginFrac-0.14) > 0.001 {
+		t.Errorf("margin = %.3f, want 0.14", m.MarginFrac)
+	}
+	if m.FailSupplyVolts >= m.NominalVolts {
+		t.Error("chip failed at or above nominal supply — virus too strong or VCrit too high")
+	}
+	if m.FailSupplyVolts <= VCrit {
+		t.Error("undervolt search ran into VCrit — virus produces no droop")
+	}
+	if m.VirusDroopVolts <= 0 {
+		t.Error("virus produced no droop")
+	}
+}
+
+func TestLoopImpedanceFindsResonance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("impedance sweep is slow")
+	}
+	cfg := uarch.DefaultConfig()
+	// The software loop must see substantially higher impedance near the
+	// package resonance than at 2 MHz, mirroring Fig 4a.
+	low := MeasureLoopImpedance(cfg, 2e6, 400000)
+	fRes, _ := uarch.NewChip(cfg).Network().ResonancePeak(1e7, 1e9, 200)
+	peak := MeasureLoopImpedance(cfg, fRes, 200000)
+	if low <= 0 || peak <= 0 {
+		t.Fatalf("impedances not positive: low=%g peak=%g", low, peak)
+	}
+	if peak < 2*low {
+		t.Errorf("no resonance visible: Z(%.0fMHz)=%.4g <= 2×Z(2MHz)=%.4g",
+			fRes/1e6, peak, 2*low)
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"voltsmooth/internal/pdn"
+)
+
+func TestPhaseMarginFor(t *testing.T) {
+	cases := []struct {
+		frac float64
+		want float64
+	}{
+		{1.0, 0.010},  // Proc100
+		{0.75, 0.010}, // Proc75
+		{0.5, 0.010},  // Proc50
+		{0.25, 0.015}, // Proc25
+		{0.03, 0.023}, // Proc3: the paper's own 2.3% margin
+		{0.0, 0.023},  // Proc0
+	}
+	for _, c := range cases {
+		if got := PhaseMarginFor(c.frac); got != c.want {
+			t.Errorf("PhaseMarginFor(%g) = %g, want %g", c.frac, got, c.want)
+		}
+	}
+	if PhaseMarginFor(1.0) != PhaseMargin {
+		t.Error("Proc100 margin must equal the PhaseMargin constant")
+	}
+}
+
+func TestDefaultMarginsSortedAndTracked(t *testing.T) {
+	ms := DefaultMargins()
+	for i := 1; i < len(ms); i++ {
+		if ms[i] <= ms[i-1] {
+			t.Fatalf("margins not strictly ascending at %d: %g, %g", i, ms[i-1], ms[i])
+		}
+	}
+	// Every per-variant characterization margin must be tracked, so the
+	// experiments can read crossing counts for any chip.
+	for _, v := range pdn.AllVariants() {
+		want := PhaseMarginFor(v.CapFraction)
+		found := false
+		for _, m := range ms {
+			if m == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s margin %g missing from DefaultMargins", v.Name, want)
+		}
+	}
+}
+
+func TestVCritImpliesPaperMargin(t *testing.T) {
+	// (VNom − VCrit)/VNom must be the paper's 14% worst-case margin for
+	// the default platform.
+	vnom := pdn.Core2Duo().VNom
+	margin := (vnom - VCrit) / vnom
+	if margin < 0.139 || margin > 0.141 {
+		t.Errorf("implied worst-case margin %.4f, want 0.14", margin)
+	}
+}

@@ -1,0 +1,101 @@
+// Package counters provides the hardware-performance-counter abstraction
+// the paper's software layer relies on (Sec IV-A): architectural event
+// counts gathered per core, from which the stall-ratio metric and IPC are
+// derived. It plays the role VTune plays in the paper — coarse-grained
+// counter data that a scheduler can sample cheaply at run time.
+package counters
+
+import "fmt"
+
+// Counters accumulates architectural events for one core. The zero value
+// is ready to use. Counters are plain data: the chip model increments the
+// fields directly on its per-cycle hot path.
+type Counters struct {
+	Cycles       uint64 // elapsed core clock cycles
+	Instructions uint64 // retired instructions
+	StallCycles  uint64 // cycles in which the pipeline retired nothing
+	IssueSlots   uint64 // total issue slots filled (activity proxy)
+
+	L1Misses    uint64
+	L2Misses    uint64
+	TLBMisses   uint64
+	BranchMisp  uint64
+	Exceptions  uint64
+	FlushCycles uint64 // cycles lost to pipeline flushes
+}
+
+// IPC returns retired instructions per cycle, 0 when no cycles elapsed.
+func (c *Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// StallRatio is the paper's key software-visible metric: the fraction of
+// cycles the pipeline spent stalled ("the numbers of cycles the pipeline
+// is waiting ... such as when the reorder buffer or reservation station
+// usage drops due to long latency operations, L2 cache misses, or even
+// branch misprediction events"). It correlates with voltage droop counts
+// at r = 0.97 in the paper's Fig 15.
+func (c *Counters) StallRatio() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.StallCycles) / float64(c.Cycles)
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Cycles += other.Cycles
+	c.Instructions += other.Instructions
+	c.StallCycles += other.StallCycles
+	c.IssueSlots += other.IssueSlots
+	c.L1Misses += other.L1Misses
+	c.L2Misses += other.L2Misses
+	c.TLBMisses += other.TLBMisses
+	c.BranchMisp += other.BranchMisp
+	c.Exceptions += other.Exceptions
+	c.FlushCycles += other.FlushCycles
+}
+
+// Delta returns the event counts accumulated since an earlier snapshot.
+// It panics if snap is not an earlier state of the same counter set.
+func (c *Counters) Delta(snap Counters) Counters {
+	if snap.Cycles > c.Cycles || snap.Instructions > c.Instructions {
+		panic(fmt.Sprintf("counters: Delta against a later snapshot (cycles %d > %d)",
+			snap.Cycles, c.Cycles))
+	}
+	return Counters{
+		Cycles:       c.Cycles - snap.Cycles,
+		Instructions: c.Instructions - snap.Instructions,
+		StallCycles:  c.StallCycles - snap.StallCycles,
+		IssueSlots:   c.IssueSlots - snap.IssueSlots,
+		L1Misses:     c.L1Misses - snap.L1Misses,
+		L2Misses:     c.L2Misses - snap.L2Misses,
+		TLBMisses:    c.TLBMisses - snap.TLBMisses,
+		BranchMisp:   c.BranchMisp - snap.BranchMisp,
+		Exceptions:   c.Exceptions - snap.Exceptions,
+		FlushCycles:  c.FlushCycles - snap.FlushCycles,
+	}
+}
+
+// Reset zeroes all counts.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// PerKCycles expresses an event count as occurrences per 1000 cycles, the
+// unit the paper uses for droop and phase plots.
+func PerKCycles(events, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return 1000 * float64(events) / float64(cycles)
+}
+
+// String summarizes the counter file for logs and examples.
+func (c *Counters) String() string {
+	return fmt.Sprintf(
+		"cycles=%d instrs=%d ipc=%.3f stall=%.3f l1=%d l2=%d tlb=%d br=%d excp=%d",
+		c.Cycles, c.Instructions, c.IPC(), c.StallRatio(),
+		c.L1Misses, c.L2Misses, c.TLBMisses, c.BranchMisp, c.Exceptions)
+}

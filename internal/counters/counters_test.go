@@ -1,0 +1,84 @@
+package counters
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestZeroValueSafe(t *testing.T) {
+	var c Counters
+	if c.IPC() != 0 || c.StallRatio() != 0 {
+		t.Error("zero-value ratios should be 0")
+	}
+}
+
+func TestIPCAndStallRatio(t *testing.T) {
+	c := Counters{Cycles: 1000, Instructions: 1500, StallCycles: 250}
+	if got := c.IPC(); got != 1.5 {
+		t.Errorf("IPC = %g, want 1.5", got)
+	}
+	if got := c.StallRatio(); got != 0.25 {
+		t.Errorf("StallRatio = %g, want 0.25", got)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := Counters{Cycles: 10, Instructions: 20, L1Misses: 1, Exceptions: 2}
+	b := Counters{Cycles: 5, Instructions: 5, L1Misses: 3, BranchMisp: 7}
+	a.Add(b)
+	if a.Cycles != 15 || a.Instructions != 25 || a.L1Misses != 4 ||
+		a.BranchMisp != 7 || a.Exceptions != 2 {
+		t.Errorf("Add result wrong: %+v", a)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	c := Counters{Cycles: 100, Instructions: 80, StallCycles: 20, TLBMisses: 5}
+	snap := c
+	c.Add(Counters{Cycles: 50, Instructions: 60, StallCycles: 5, TLBMisses: 2, L2Misses: 9})
+	d := c.Delta(snap)
+	if d.Cycles != 50 || d.Instructions != 60 || d.StallCycles != 5 ||
+		d.TLBMisses != 2 || d.L2Misses != 9 {
+		t.Errorf("Delta wrong: %+v", d)
+	}
+}
+
+func TestDeltaPanicsOnLaterSnapshot(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c := Counters{Cycles: 10}
+	c.Delta(Counters{Cycles: 20})
+}
+
+func TestReset(t *testing.T) {
+	c := Counters{Cycles: 1, Instructions: 2, FlushCycles: 3}
+	c.Reset()
+	if c != (Counters{}) {
+		t.Errorf("Reset left state: %+v", c)
+	}
+}
+
+func TestPerKCycles(t *testing.T) {
+	if got := PerKCycles(50, 1000); got != 50 {
+		t.Errorf("PerKCycles = %g, want 50", got)
+	}
+	if got := PerKCycles(1, 0); got != 0 {
+		t.Errorf("PerKCycles with zero cycles = %g, want 0", got)
+	}
+	if got := PerKCycles(3, 2000); got != 1.5 {
+		t.Errorf("PerKCycles = %g, want 1.5", got)
+	}
+}
+
+func TestStringMentionsKeyRates(t *testing.T) {
+	c := Counters{Cycles: 10, Instructions: 5}
+	s := c.String()
+	for _, want := range []string{"cycles=10", "ipc=0.500", "stall="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

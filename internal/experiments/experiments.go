@@ -1,0 +1,76 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation. Each runner drives the library end-to-end (workload →
+// chip → PDN → scope → analysis) at a configurable scale and returns a
+// typed result that renders to the same rows/series the paper reports.
+//
+// The package is the reproduction harness: cmd/vsmooth exposes the runners
+// on the command line, the test suite asserts every runner's qualitative
+// claims (who wins, by roughly what factor, where crossovers fall), and
+// bench_test.go at the repository root times them.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Renderer is implemented by every experiment result.
+type Renderer interface {
+	// Render returns the experiment's tables as human-readable text.
+	Render() string
+}
+
+// Entry describes one registered experiment.
+type Entry struct {
+	ID    string
+	Title string
+	Run   func(s *Session) Renderer
+}
+
+var registry = map[string]Entry{}
+
+func register(id, title string, run func(s *Session) Renderer) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = Entry{ID: id, Title: title, Run: run}
+}
+
+// Lookup returns the experiment with the given id.
+func Lookup(id string) (Entry, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Entry{}, fmt.Errorf("experiments: unknown experiment %q (try `list`)", id)
+	}
+	return e, nil
+}
+
+// All returns every registered experiment sorted by id (figures first,
+// then tables).
+func All() []Entry {
+	out := make([]Entry, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessID(out[i].ID, out[j].ID) })
+	return out
+}
+
+// lessID orders fig1 < fig2 < … < fig19 < tab1.
+func lessID(a, b string) bool {
+	pa, na := splitID(a)
+	pb, nb := splitID(b)
+	if pa != pb {
+		return pa < pb
+	}
+	return na < nb
+}
+
+func splitID(s string) (prefix string, num int) {
+	i := 0
+	for i < len(s) && (s[i] < '0' || s[i] > '9') {
+		i++
+	}
+	fmt.Sscanf(s[i:], "%d", &num)
+	return s[:i], num
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestExt1OnlineSchedulerWins(t *testing.T) {
+	r := Ext1(session(t))
+	if len(r.Results) < 4 {
+		t.Fatalf("%d policy runs", len(r.Results))
+	}
+	cluster := r.ByPolicy("stall-cluster")
+	if len(cluster) != 1 {
+		t.Fatal("missing stall-cluster run")
+	}
+	// Every policy must finish the whole job set.
+	want := r.Results[0].CompletedJobs
+	for _, res := range r.Results {
+		if res.CompletedJobs != want || res.CompletedJobs == 0 {
+			t.Errorf("%s completed %d jobs, others %d", res.Policy, res.CompletedJobs, want)
+		}
+	}
+	// The counter-driven noise-aware policy accumulates the fewest total
+	// emergencies — the stall-ratio metric works as a droop proxy.
+	for _, res := range r.Results {
+		if res.Policy == "stall-cluster" {
+			continue
+		}
+		if cluster[0].Emergencies > res.Emergencies {
+			t.Errorf("stall-cluster %d emergencies above %s's %d",
+				cluster[0].Emergencies, res.Policy, res.Emergencies)
+		}
+	}
+}
+
+func TestExt2SplitSupplyNoisier(t *testing.T) {
+	r := Ext2(session(t))
+	if len(r.Pairs) == 0 {
+		t.Fatal("no pairs measured")
+	}
+	for _, row := range r.Pairs {
+		if row.SplitDroopsPerKc <= row.SharedDroopsPerKc {
+			t.Errorf("%s+%s: split droops %.2f not above shared %.2f (POWER6 comparison)",
+				row.A, row.B, row.SplitDroopsPerKc, row.SharedDroopsPerKc)
+		}
+	}
+}
+
+func TestExt3HybridSweepShape(t *testing.T) {
+	r := Ext3(session(t))
+	if len(r.Ns) != len(r.Evals) || len(r.Pass) != len(r.Ns) {
+		t.Fatal("malformed sweep")
+	}
+	// Droop-weighted exponents cannot droop more than the droop-blind
+	// n=0 batch.
+	base := r.Evals[0].Droops
+	for k, ev := range r.Evals[1:] {
+		if ev.Droops > base+0.02 {
+			t.Errorf("n=%g droops %.3f above n=0's %.3f", r.Ns[k+1], ev.Droops, base)
+		}
+	}
+	// Noise-weighted exponents pass at least as many schedules as n=0 at
+	// coarse recovery costs (the Sec IV-D adaptive-metric argument).
+	last := len(r.Costs) - 1
+	for k := 1; k < len(r.Ns); k++ {
+		if r.Pass[k][last] < r.Pass[0][last] {
+			t.Errorf("n=%g passes %d at the coarsest cost, below n=0's %d",
+				r.Ns[k], r.Pass[k][last], r.Pass[0][last])
+		}
+	}
+	for c := range r.Costs {
+		for k := range r.Ns {
+			if r.Pass[k][c] < 0 || r.Pass[k][c] > session(t).Scale.SpecSubset {
+				t.Errorf("pass count out of range at n=%g cost=%g", r.Ns[k], r.Costs[c])
+			}
+		}
+	}
+}
+
+func TestExtensionsRegistered(t *testing.T) {
+	for _, id := range []string{"ext1", "ext2", "ext3"} {
+		if _, err := Lookup(id); err != nil {
+			t.Errorf("%s not registered: %v", id, err)
+		}
+	}
+	if len(All()) != 21 {
+		t.Errorf("registry has %d entries, want 21 (18 paper + 3 extensions)", len(All()))
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"voltsmooth/internal/core"
+	"voltsmooth/internal/pdn"
+	"voltsmooth/internal/phase"
+	"voltsmooth/internal/stats"
+	"voltsmooth/internal/workload"
+)
+
+func init() {
+	register("fig14", "Voltage-noise phases over full executions (sphinx, gamess, tonto)", runFig14)
+	register("fig15", "Droop counts and stall ratio across the suite", runFig15)
+}
+
+// Fig14Result reproduces Fig 14: droops-per-1K-cycles time series for the
+// three characteristic programs, plus their phase segmentations. Per the
+// paper's Sec IV ("we use the Proc3 processor"), the phase study runs on
+// the future-node stand-in.
+type Fig14Result struct {
+	IntervalCycles uint64
+	Programs       []string
+	Series         [][]float64
+	Summaries      []phase.Summary
+}
+
+func runFig14(s *Session) Renderer { return Fig14(s) }
+
+// Fig14 records the three phase traces.
+func Fig14(s *Session) *Fig14Result {
+	cfg := s.ChipConfig(pdn.Proc3)
+	r := &Fig14Result{IntervalCycles: s.Scale.IntervalCycles}
+	for _, name := range []string{"sphinx", "gamess", "tonto"} {
+		p, err := workload.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		res := core.RunSingle(cfg, p.NewStream(), core.RunConfig{
+			Cycles:         s.Scale.PhaseRunCycles,
+			WarmupCycles:   s.Scale.WarmupCycles,
+			IntervalCycles: s.Scale.IntervalCycles,
+			SeriesMargin:   s.Margin(pdn.Proc3),
+		})
+		r.Programs = append(r.Programs, name)
+		r.Series = append(r.Series, res.DroopSeries)
+		r.Summaries = append(r.Summaries, phase.Summarize(res.DroopSeries, phaseDetectConfig(res.DroopSeries)))
+	}
+	return r
+}
+
+// phaseDetectConfig scales the detector threshold to the series' own
+// droop level, since absolute droop rates depend on the experiment scale.
+func phaseDetectConfig(series []float64) phase.Config {
+	cfg := phase.DefaultConfig()
+	mean := stats.Mean(series)
+	cfg.Threshold = mean * 0.3
+	if cfg.Threshold < 1 {
+		cfg.Threshold = 1
+	}
+	return cfg
+}
+
+// SummaryOf returns the phase summary for a program.
+func (r *Fig14Result) SummaryOf(name string) phase.Summary {
+	for i, p := range r.Programs {
+		if p == name {
+			return r.Summaries[i]
+		}
+	}
+	panic("experiments: program not in Fig14 result")
+}
+
+// Render implements Renderer.
+func (r *Fig14Result) Render() string {
+	var ts Tables
+	sum := &Table{
+		Title:  "Fig 14: voltage-noise phase structure (Proc3)",
+		Header: []string{"program", "phases", "transitions/1K-intervals", "mean droops/Kc", "phase swing"},
+		Notes: []string{
+			"paper: sphinx flat (no phases); gamess four coarse phases;",
+			"tonto oscillates strongly and frequently",
+		},
+	}
+	for i, p := range r.Programs {
+		s := r.Summaries[i]
+		sum.AddRow(p, s.Phases, f1(s.TransitionsPerKInterval), f1(s.MeanDroops), f1(s.Swing))
+	}
+	ts = append(ts, sum)
+	for i, p := range r.Programs {
+		t := &Table{Title: "droops per 1K cycles over time: " + p}
+		t.Header = []string{"series"}
+		t.Rows = append(t.Rows, []string{sparkline(r.Series[i], 90)})
+		ts = append(ts, t)
+	}
+	return ts.Render()
+}
+
+// Fig15Result reproduces Fig 15: per-benchmark droop counts overlaid with
+// the stall ratio, and their correlation.
+type Fig15Result struct {
+	Names       []string
+	DroopsPerKc []float64
+	StallRatio  []float64
+	IPC         []float64
+	Pearson     float64
+}
+
+func runFig15(s *Session) Renderer { return Fig15(s) }
+
+// Fig15 measures the first measurement window of every benchmark, as the
+// paper does ("a 60-second execution window ... from the beginning of
+// program execution").
+func Fig15(s *Session) *Fig15Result {
+	cfg := s.ChipConfig(pdn.Proc3)
+	r := &Fig15Result{}
+	rc := core.RunConfig{Cycles: s.Scale.RunCycles, WarmupCycles: s.Scale.WarmupCycles}
+	for _, p := range s.SpecProfiles() {
+		res := core.RunSingle(cfg, p.NewStream(), rc)
+		r.Names = append(r.Names, p.Name)
+		r.DroopsPerKc = append(r.DroopsPerKc, res.DroopsPerKCycle(s.Margin(pdn.Proc3)))
+		r.StallRatio = append(r.StallRatio, res.StallRatio(0))
+		r.IPC = append(r.IPC, res.IPC(0))
+	}
+	r.Pearson = stats.Pearson(r.DroopsPerKc, r.StallRatio)
+	return r
+}
+
+// Render implements Renderer.
+func (r *Fig15Result) Render() string {
+	t := &Table{
+		Title:  "Fig 15: droops vs stall ratio per benchmark (Proc3)",
+		Header: []string{"benchmark", "droops/Kc", "stall ratio", "IPC"},
+		Notes: []string{
+			"paper: heterogeneous mix of noise levels; droops strongly",
+			"correlated with stall ratio (r = 0.97);",
+			"measured correlation r = " + f2(r.Pearson),
+		},
+	}
+	for i, n := range r.Names {
+		t.AddRow(n, f1(r.DroopsPerKc[i]), f2(r.StallRatio[i]), f2(r.IPC[i]))
+	}
+	return Tables{t}.Render()
+}

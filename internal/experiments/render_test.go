@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+		Notes:  []string{"a note"},
+	}
+	tab.AddRow("alpha", 1.25)
+	tab.AddRow("beta-longer", "x")
+	out := tab.String()
+	for _, want := range []string{"== demo ==", "name", "alpha", "beta-longer", "note: a note", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: the header and the rows pad the first column to the
+	// widest cell.
+	lines := strings.Split(out, "\n")
+	var header, row string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			header = l
+		}
+		if strings.HasPrefix(l, "alpha") {
+			row = l
+		}
+	}
+	if strings.Index(header, "value") != strings.Index(row, "1.25") {
+		t.Errorf("columns misaligned:\n%q\n%q", header, row)
+	}
+}
+
+func TestTablesRenderJoinsBlocks(t *testing.T) {
+	a := &Table{Title: "one"}
+	b := &Table{Title: "two"}
+	out := Tables{a, b}.Render()
+	if !strings.Contains(out, "== one ==") || !strings.Contains(out, "== two ==") {
+		t.Errorf("missing tables: %s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 100)
+	if len([]rune(s)) != 8 {
+		t.Fatalf("sparkline length %d, want 8", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("sparkline extremes wrong: %s", s)
+	}
+	// Downsampling caps the width.
+	long := make([]float64, 500)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	if got := len([]rune(sparkline(long, 60))); got != 60 {
+		t.Errorf("downsampled width %d, want 60", got)
+	}
+	if sparkline(nil, 10) != "" {
+		t.Error("empty series should render empty")
+	}
+	// A constant series must not divide by zero.
+	if got := sparkline([]float64{5, 5, 5}, 10); len([]rune(got)) != 3 {
+		t.Errorf("constant series: %q", got)
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if pct(0.1234) != "12.34%" {
+		t.Errorf("pct = %s", pct(0.1234))
+	}
+	if f2(1.005) != "1.00" && f2(1.005) != "1.01" {
+		t.Errorf("f2 = %s", f2(1.005))
+	}
+	if f1(3.14) != "3.1" {
+		t.Errorf("f1 = %s", f1(3.14))
+	}
+}
+
+func TestLessIDOrdering(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"fig1", "fig2", true},
+		{"fig2", "fig10", true}, // numeric, not lexicographic
+		{"fig19", "tab1", true},
+		{"ext1", "fig1", true},
+		{"tab1", "fig1", false},
+	}
+	for _, c := range cases {
+		if got := lessID(c.a, c.b); got != c.want {
+			t.Errorf("lessID(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

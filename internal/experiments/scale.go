@@ -1,0 +1,112 @@
+package experiments
+
+import "fmt"
+
+// Scale sets how much simulated work each experiment does. The paper runs
+// programs to completion over hundreds of billions of instructions; the
+// simulated substrate trades absolute length for tractable wall-clock time
+// while preserving every result's shape. One paper "60-second interval"
+// maps to IntervalCycles simulated cycles.
+type Scale struct {
+	Name string
+
+	// SpecSubset limits the SPEC-like suite to a representative subset
+	// (0 = all 29 benchmarks). The subset always spans the memory-bound,
+	// branchy, phased, and compute-bound corners.
+	SpecSubset int
+
+	RunCycles      uint64 // single characterization run length
+	PairCycles     uint64 // oracle pair-table run length
+	WarmupCycles   uint64 // regulator + pipeline warm-up before measuring
+	IntervalCycles uint64 // one paper "60-second" measurement interval
+	PhaseRunCycles uint64 // Fig 14 full-program phase traces
+	// WindowCycles is the Fig 16 sliding-window restart interval. Unlike
+	// the other knobs it is the same at every scale: the experiment
+	// probes phase alignment between two program instances, and the
+	// window must stay commensurate with the program's phase period.
+	WindowCycles   uint64
+	Windows        int    // Fig 16 window count
+	MicroCycles    uint64 // Fig 11–13 microbenchmark runs
+	ImpedanceFreqs int    // Fig 4 software-loop measurement points
+	RandomBatches  int    // Fig 18 random-schedule control count
+}
+
+// Tiny is the scale used by unit tests: seconds of wall clock, shapes only.
+func Tiny() Scale {
+	return Scale{
+		Name:           "tiny",
+		SpecSubset:     6,
+		RunCycles:      60_000,
+		PairCycles:     40_000,
+		WarmupCycles:   15_000,
+		IntervalCycles: 15_000,
+		PhaseRunCycles: 900_000,
+		WindowCycles:   120_000,
+		Windows:        10,
+		MicroCycles:    40_000,
+		ImpedanceFreqs: 5,
+		RandomBatches:  10,
+	}
+}
+
+// Quick is the default command-line scale: a few minutes of wall clock.
+func Quick() Scale {
+	return Scale{
+		Name:           "quick",
+		SpecSubset:     10,
+		RunCycles:      150_000,
+		PairCycles:     80_000,
+		WarmupCycles:   20_000,
+		IntervalCycles: 25_000,
+		PhaseRunCycles: 1_500_000,
+		WindowCycles:   120_000,
+		Windows:        12,
+		MicroCycles:    60_000,
+		ImpedanceFreqs: 9,
+		RandomBatches:  25,
+	}
+}
+
+// Full runs the whole suite at full fidelity (tens of minutes): all 29
+// benchmarks, the complete 29×29 pair sweep, and long phase traces.
+func Full() Scale {
+	return Scale{
+		Name:           "full",
+		SpecSubset:     0,
+		RunCycles:      600_000,
+		PairCycles:     250_000,
+		WarmupCycles:   40_000,
+		IntervalCycles: 50_000,
+		PhaseRunCycles: 3_000_000,
+		WindowCycles:   120_000,
+		Windows:        24,
+		MicroCycles:    80_000,
+		ImpedanceFreqs: 17,
+		RandomBatches:  100,
+	}
+}
+
+// ScaleByName resolves "tiny", "quick", or "full".
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return Tiny(), nil
+	case "quick":
+		return Quick(), nil
+	case "full":
+		return Full(), nil
+	default:
+		return Scale{}, fmt.Errorf("experiments: unknown scale %q (tiny|quick|full)", name)
+	}
+}
+
+// quickSubsetOrder lists benchmarks so that any prefix spans the suite's
+// behavioural corners: memory-bound streamers, phased programs, branchy
+// integer codes, and quiet FP codes.
+var quickSubsetOrder = []string{
+	"mcf", "namd", "sphinx", "gamess", "libquantum", "hmmer",
+	"lbm", "povray", "gcc", "tonto", "omnetpp", "astar",
+	"milc", "gobmk", "bwaves", "calculix", "leslie3d", "sjeng",
+	"gemsfdtd", "dealii", "soplex", "h264ref", "cactusadm", "perlbench",
+	"zeusmp", "gromacs", "bzip2", "wrf", "xalan",
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"voltsmooth/internal/core"
+	"voltsmooth/internal/pdn"
+	"voltsmooth/internal/resilient"
+	"voltsmooth/internal/sched"
+	"voltsmooth/internal/sense"
+	"voltsmooth/internal/uarch"
+	"voltsmooth/internal/workload"
+)
+
+// Session caches the expensive shared measurements (run corpora, oracle
+// pair tables) across experiments, mirroring the paper's structure: the
+// 881-run corpus feeds Figs 7–10 and Tab I, and the 29×29 oracle table
+// feeds Figs 16–19.
+type Session struct {
+	Scale   Scale
+	corpora map[string]*Corpus
+	tables  map[string]*sched.PairTable
+}
+
+// NewSession creates a session at the given scale.
+func NewSession(s Scale) *Session {
+	return &Session{
+		Scale:   s,
+		corpora: map[string]*Corpus{},
+		tables:  map[string]*sched.PairTable{},
+	}
+}
+
+// ChipConfig returns the chip configuration for a decap variant.
+func (s *Session) ChipConfig(v pdn.ProcVariant) uarch.Config {
+	cfg := uarch.DefaultConfig()
+	cfg.PDN = cfg.PDN.WithCapFraction(v.CapFraction)
+	return cfg
+}
+
+// Margin returns the characterization margin for a variant.
+func (s *Session) Margin(v pdn.ProcVariant) float64 {
+	return core.PhaseMarginFor(v.CapFraction)
+}
+
+// SpecProfiles returns the SPEC-like suite at the session's scale.
+func (s *Session) SpecProfiles() []workload.Profile {
+	all := workload.SPEC2006()
+	if s.Scale.SpecSubset <= 0 || s.Scale.SpecSubset >= len(all) {
+		return all
+	}
+	byName := map[string]workload.Profile{}
+	for _, p := range all {
+		byName[p.Name] = p
+	}
+	out := make([]workload.Profile, 0, s.Scale.SpecSubset)
+	for _, name := range quickSubsetOrder[:s.Scale.SpecSubset] {
+		out = append(out, byName[name])
+	}
+	return out
+}
+
+// Corpus is the measured run population for one decap variant: the
+// simulated equivalent of the paper's 881 benchmarking runs
+// (29 single-threaded + 11 multi-threaded + 29×29 multi-program).
+type Corpus struct {
+	Variant pdn.ProcVariant
+	// Runs carries per-run emergency data across the default margin set.
+	Runs []resilient.RunData
+	// Merged aggregates every voltage sample of every run (the Fig 7/9
+	// CDF population).
+	Merged *sense.Scope
+	// Counts by run kind.
+	SingleThreaded, MultiThreaded, MultiProgram int
+}
+
+// Corpus builds (or returns the cached) corpus for a variant.
+func (s *Session) Corpus(v pdn.ProcVariant) *Corpus {
+	if c, ok := s.corpora[v.Name]; ok {
+		return c
+	}
+	c := s.buildCorpus(v)
+	s.corpora[v.Name] = c
+	return c
+}
+
+func (s *Session) buildCorpus(v pdn.ProcVariant) *Corpus {
+	cfg := s.ChipConfig(v)
+	spec := s.SpecProfiles()
+	par := workload.Parsec()
+	if s.Scale.SpecSubset > 0 && s.Scale.SpecSubset < len(par) {
+		par = par[:s.Scale.SpecSubset]
+	}
+
+	c := &Corpus{
+		Variant: v,
+		Merged:  sense.NewScope(cfg.PDN.VNom, core.DefaultMargins()),
+	}
+	add := func(name string, res core.Result) {
+		c.Runs = append(c.Runs, resilient.FromScope(name, res.Cycles, res.Scope))
+		c.Merged.Merge(res.Scope)
+	}
+
+	rcSingle := core.RunConfig{Cycles: s.Scale.RunCycles, WarmupCycles: s.Scale.WarmupCycles}
+	for _, p := range spec {
+		add(p.Name, core.RunSingle(cfg, p.NewStream(), rcSingle))
+		c.SingleThreaded++
+	}
+	// Multi-threaded runs: both cores execute threads of the same program
+	// (distinct stream instances — threads share the binary, not the
+	// exact dynamic path; the second thread gets a derived seed).
+	for _, p := range par {
+		q := p
+		q.Seed = p.Seed + 1
+		add(p.Name+"(mt)", core.RunPair(cfg, p.NewStream(), q.NewStream(), rcSingle))
+		c.MultiThreaded++
+	}
+	rcPair := core.RunConfig{Cycles: s.Scale.PairCycles, WarmupCycles: s.Scale.WarmupCycles}
+	for _, a := range spec {
+		for _, b := range spec {
+			add(a.Name+"+"+b.Name, core.RunPair(cfg, a.NewStream(), b.NewStream(), rcPair))
+			c.MultiProgram++
+		}
+	}
+	return c
+}
+
+// PairTable builds (or returns the cached) oracle table for a variant.
+// The paper's scheduling study (Sec IV) runs on the Proc3 future-node
+// stand-in.
+func (s *Session) PairTable(v pdn.ProcVariant) *sched.PairTable {
+	if t, ok := s.tables[v.Name]; ok {
+		return t
+	}
+	bc := sched.BuildConfig{
+		Chip:   s.ChipConfig(v),
+		Cycles: s.Scale.PairCycles,
+		Warmup: s.Scale.WarmupCycles,
+		Margin: s.Margin(v),
+	}
+	t := sched.BuildPairTable(bc, s.SpecProfiles())
+	s.tables[v.Name] = t
+	return t
+}

@@ -1,0 +1,107 @@
+package pdn
+
+// ProcVariant identifies one of the decap-removal processors from Sec II-B.
+// The numeric suffix is the percentage of package capacitance retained.
+type ProcVariant struct {
+	Name        string
+	CapFraction float64
+}
+
+// The six processors of Fig 5. Proc100 is the unmodified chip ("today"),
+// Proc25 and Proc3 are the paper's stand-ins for future technology nodes,
+// and Proc0 has no package capacitance at all (it fails stability testing).
+var (
+	Proc100 = ProcVariant{"Proc100", 1.00}
+	Proc75  = ProcVariant{"Proc75", 0.75}
+	Proc50  = ProcVariant{"Proc50", 0.50}
+	Proc25  = ProcVariant{"Proc25", 0.25}
+	Proc3   = ProcVariant{"Proc3", 0.03}
+	Proc0   = ProcVariant{"Proc0", 0.00}
+)
+
+// AllVariants lists the decap-removal processors in decreasing capacitance
+// order, as in Figs 5 and 6.
+func AllVariants() []ProcVariant {
+	return []ProcVariant{Proc100, Proc75, Proc50, Proc25, Proc3, Proc0}
+}
+
+// FutureVariants returns the variants the paper uses as future-node
+// stand-ins (Sec III): Proc25 and Proc3.
+func FutureVariants() []ProcVariant {
+	return []ProcVariant{Proc25, Proc3}
+}
+
+// ResetResponse is the outcome of resetting one decap variant (Fig 5m–r).
+type ResetResponse struct {
+	Variant      ProcVariant
+	DroopVolts   float64 // deepest droop below nominal during the reset
+	PeakToPeak   float64
+	RelativeP2P  float64 // peak-to-peak swing relative to Proc100 (Fig 6)
+	BootsStably  bool    // false when the droop exceeds the margin (Proc0)
+	MarginVolts  float64 // the failure threshold used for BootsStably
+	DroopPercent float64 // droop as % of VNom
+}
+
+// ResetExperiment drives the reset stimulus through every decap variant of
+// the base parameters and reports droops, reproducing Figs 5m–r and Fig 6.
+// marginFrac is the worst-case voltage margin (e.g. 0.14): a variant whose
+// reset droop exceeds it fails stability testing, as Proc0 does in the
+// paper ("timing violations that prevent the processor from even booting").
+type ResetExperimentConfig struct {
+	Base           Params
+	IdleAmps       float64
+	InrushAmps     float64
+	MarginFrac     float64
+	Duration       float64 // seconds of simulated time
+	Dt             float64 // integrator step
+	HoldSeconds    float64 // how long current collapses to zero
+	RampSeconds    float64 // how fast the inrush ramps up
+	PlateauSeconds float64 // how long the inrush is sustained
+}
+
+// DefaultResetConfig returns the configuration used for the Fig 5/6
+// reproduction: an idle machine hit by a reset with a large, fast inrush.
+// The 5 ns inrush ramp puts most of the stimulus energy near the package
+// resonance band, as a real power-on edge does.
+func DefaultResetConfig() ResetExperimentConfig {
+	return ResetExperimentConfig{
+		Base:           Core2Duo(),
+		IdleAmps:       8,
+		InrushAmps:     46,
+		MarginFrac:     0.14,
+		Duration:       4e-6,
+		Dt:             25e-12,
+		HoldSeconds:    300e-9,
+		RampSeconds:    1e-9,
+		PlateauSeconds: 800e-9,
+	}
+}
+
+// ResetExperiment runs the reset stimulus on each variant and returns the
+// per-variant responses, with RelativeP2P normalized to the first variant
+// (Proc100) as in Fig 6.
+func ResetExperiment(cfg ResetExperimentConfig, variants []ProcVariant) []ResetResponse {
+	out := make([]ResetResponse, 0, len(variants))
+	margin := cfg.Base.VNom * cfg.MarginFrac
+	for _, vr := range variants {
+		p := cfg.Base.WithCapFraction(vr.CapFraction)
+		n := NewAtLoad(p, cfg.IdleAmps)
+		src := ResetSource(cfg.IdleAmps, cfg.InrushAmps, cfg.Duration*0.25, cfg.HoldSeconds, cfg.RampSeconds, cfg.PlateauSeconds)
+		res := RunTransient(n, src, cfg.Duration, cfg.Dt, nil)
+		out = append(out, ResetResponse{
+			Variant:      vr,
+			DroopVolts:   res.MinDroop,
+			PeakToPeak:   res.PeakToPeak,
+			BootsStably:  res.MinDroop < margin,
+			MarginVolts:  margin,
+			DroopPercent: 100 * res.MinDroop / cfg.Base.VNom,
+		})
+	}
+	if len(out) > 0 && out[0].PeakToPeak > 0 {
+		base := out[0].PeakToPeak
+		for i := range out {
+			out[i].RelativeP2P = out[i].PeakToPeak / base
+		}
+	}
+	return out
+}

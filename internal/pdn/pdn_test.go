@@ -1,0 +1,217 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Core2Duo().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := Core2Duo()
+	bad.C3 = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero capacitance accepted")
+	}
+	bad = Core2Duo()
+	bad.ESR1 = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative ESR accepted")
+	}
+	bad = Core2Duo()
+	bad.PackageCapFraction = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("cap fraction > 1 accepted")
+	}
+	bad = Core2Duo()
+	bad.L1 = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN inductance accepted")
+	}
+}
+
+func TestWithCapFractionClamps(t *testing.T) {
+	p := Core2Duo().WithCapFraction(-0.5)
+	if p.PackageCapFraction != 0 {
+		t.Errorf("negative fraction not clamped: %g", p.PackageCapFraction)
+	}
+	p = Core2Duo().WithCapFraction(2)
+	if p.PackageCapFraction != 1 {
+		t.Errorf("fraction > 1 not clamped: %g", p.PackageCapFraction)
+	}
+}
+
+func TestSteadyStateStaysPut(t *testing.T) {
+	// At the DC operating point with constant load and no ripple, voltage
+	// should not move — with or without VRM regulation.
+	for _, regulated := range []bool{true, false} {
+		p := Core2Duo()
+		p.RippleAmp = 0
+		if !regulated {
+			p.RegIntegralHz = 0
+			p.RegFeedforwardTau = 0
+		}
+		const load = 20.0
+		n := NewAtLoad(p, load)
+		v0 := n.V()
+		for i := 0; i < 10000; i++ {
+			n.Step(100e-12, load)
+		}
+		if d := math.Abs(n.V() - v0); d > 1e-9 {
+			t.Errorf("regulated=%v: steady state drifted by %g V", regulated, d)
+		}
+		if regulated {
+			// The VRM holds the die at nominal under sustained load.
+			if d := math.Abs(v0 - p.VNom); d > 1e-9 {
+				t.Errorf("regulated die at %g, want VNom %g", v0, p.VNom)
+			}
+		} else {
+			// Unregulated, the operating point reflects the IR drop.
+			wantDrop := load * (p.R0 + p.R1 + p.R2)
+			if d := math.Abs((p.VNom - v0) - wantDrop); d > 1e-9 {
+				t.Errorf("DC drop = %g, want %g", p.VNom-v0, wantDrop)
+			}
+		}
+	}
+}
+
+func TestStepLoadCausesDroopThenRecovery(t *testing.T) {
+	p := Core2Duo()
+	p.RippleAmp = 0
+	n := NewAtLoad(p, 5)
+	src := StepSource(5, 25, 1e-6)
+	res := RunTransient(n, src, 200e-6, 200e-12, nil)
+	if res.MinDroop <= 0 {
+		t.Fatal("current step produced no droop")
+	}
+	// After a long settle the regulator must pull the die back to nominal
+	// (the control loop and the bulk stage both settle within ~100 µs).
+	if d := math.Abs(n.V() - p.VNom); d > 1e-3 {
+		t.Errorf("settled voltage %g, want VNom %g (±1mV)", n.V(), p.VNom)
+	}
+}
+
+func TestLoadReleaseCausesOvershoot(t *testing.T) {
+	p := Core2Duo()
+	p.RippleAmp = 0
+	n := NewAtLoad(p, 30)
+	src := StepSource(30, -25, 1e-6) // activity ramps down: stall event
+	res := RunTransient(n, src, 5e-6, 50e-12, nil)
+	if res.MaxOvershoot <= 0 {
+		t.Fatal("current drop produced no overshoot — stalls must overshoot (Sec III-C)")
+	}
+}
+
+func TestResonanceInPaperBand(t *testing.T) {
+	n := New(Core2Duo())
+	f, mag := n.ResonancePeak(1e6, 1e9, 400)
+	if f < 100e6 || f > 250e6 {
+		t.Errorf("resonance at %.0f MHz, want 100–250 MHz (paper: 100–200 MHz)", f/1e6)
+	}
+	z1m := n.ImpedanceMag(1e6)
+	ratio := mag / z1m
+	if ratio < 3 || ratio > 80 {
+		t.Errorf("peak/1MHz impedance ratio = %.1f, want a pronounced peak (3–80)", ratio)
+	}
+}
+
+func TestReducedCapsRaiseImpedanceAt1MHz(t *testing.T) {
+	// Paper, Sec II-B: at 1 MHz the reduced-caps system has ~5x the
+	// impedance of the well-damped default.
+	full := New(Core2Duo())
+	reduced := New(Core2Duo().WithCapFraction(0.20))
+	ratio := reduced.ImpedanceMag(1e6) / full.ImpedanceMag(1e6)
+	if ratio < 3 || ratio > 8 {
+		t.Errorf("Z(1MHz) reduced/full = %.2f, want ≈5 (3–8)", ratio)
+	}
+}
+
+func TestImpedanceMonotoneInCapFraction(t *testing.T) {
+	// Less package capacitance ⇒ higher impedance at mid frequencies.
+	fracs := []float64{1.0, 0.75, 0.5, 0.25, 0.03}
+	prev := 0.0
+	for i, k := range fracs {
+		z := New(Core2Duo().WithCapFraction(k)).ImpedanceMag(2e6)
+		if i > 0 && z <= prev {
+			t.Errorf("Z(2MHz) not increasing as caps removed: κ=%g gives %g <= %g", k, z, prev)
+		}
+		prev = z
+	}
+}
+
+// TestTransientMatchesAnalyticImpedance is the central validation of the
+// package (the analogue of the paper's Fig 4 validation against Intel
+// data): the time-domain integrator must reproduce the exact
+// frequency-domain impedance.
+func TestTransientMatchesAnalyticImpedance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient impedance sweep is slow")
+	}
+	p := Core2Duo()
+	n := New(p)
+	for _, f := range []float64{1e6, 5e6, 20e6, 80e6, 150e6, 300e6} {
+		dt := math.Min(1/(f*200), 100e-12)
+		got := MeasureImpedance(p, f, 10, 2, dt, 30, 10)
+		want := n.ImpedanceMag(f)
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("f=%.0fMHz: transient |Z|=%.4g analytic %.4g (rel err %.1f%%)",
+				f/1e6, got, want, 100*rel)
+		}
+	}
+}
+
+func TestImpedanceCapFractionProperty(t *testing.T) {
+	// Property: for any κ in (0,1], impedance is finite and positive over
+	// the band of interest, and the network never produces NaN voltages.
+	f := func(seed int64) bool {
+		k := float64(uint64(seed)%1000)/1000.0 + 0.001
+		if k > 1 {
+			k = 1
+		}
+		p := Core2Duo().WithCapFraction(k)
+		n := New(p)
+		for _, freq := range []float64{1e5, 1e6, 1e7, 1e8, 5e8} {
+			z := n.ImpedanceMag(freq)
+			if math.IsNaN(z) || math.IsInf(z, 0) || z <= 0 {
+				return false
+			}
+		}
+		v := n.StepCycle(1/1.86e9, 15, 4)
+		return !math.IsNaN(v) && !math.IsInf(v, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRippleSawtooth(t *testing.T) {
+	p := Core2Duo()
+	n := New(p)
+	// Over one full ripple period, voltage must wiggle by about 2*RippleAmp.
+	res := RunTransient(n, ConstantSource(0), 2/p.RippleFreq, 1e-9, nil)
+	if res.PeakToPeak < p.RippleAmp || res.PeakToPeak > 4*p.RippleAmp {
+		t.Errorf("ripple p2p = %g, want near %g", res.PeakToPeak, 2*p.RippleAmp)
+	}
+}
+
+func TestStepCycleSubstepsStable(t *testing.T) {
+	// The per-cycle entry point must remain numerically stable at the
+	// default substep count for every cap variant including Proc0.
+	for _, vr := range AllVariants() {
+		p := Core2Duo().WithCapFraction(vr.CapFraction)
+		n := NewAtLoad(p, 10)
+		cycle := 1 / 1.86e9
+		for i := 0; i < 50000; i++ {
+			load := 10.0
+			if i%100 < 50 {
+				load = 25
+			}
+			v := n.StepCycle(cycle, load, 4)
+			if math.IsNaN(v) || v < 0 || v > 2*p.VNom {
+				t.Fatalf("%s: unstable at cycle %d: v=%g", vr.Name, i, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+)
+
+// The VRM regulation tests: feedforward load-line compensation plus the
+// integral cleanup loop must hold the die at nominal across operating
+// points without destabilizing the transient response.
+
+func TestRegulationRecentersAfterLoadChange(t *testing.T) {
+	p := Core2Duo()
+	p.RippleAmp = 0
+	n := NewAtLoad(p, 8)
+	// Jump to a heavy sustained load; convergence is set by the bulk
+	// stage's own settling (tens of µs), so allow 80 µs.
+	for i := 0; i < 1600000; i++ {
+		n.Step(50e-12, 35)
+	}
+	if d := math.Abs(n.V() - p.VNom); d > 0.002 {
+		t.Errorf("die %.4f V under 35 A, want VNom %.4f (±2 mV)", n.V(), p.VNom)
+	}
+	// And back down.
+	for i := 0; i < 1600000; i++ {
+		n.Step(50e-12, 5)
+	}
+	if d := math.Abs(n.V() - p.VNom); d > 0.002 {
+		t.Errorf("die %.4f V under 5 A after release, want VNom", n.V())
+	}
+}
+
+func TestUnregulatedLoadLine(t *testing.T) {
+	p := Core2Duo()
+	p.RippleAmp = 0
+	p.RegIntegralHz = 0
+	p.RegFeedforwardTau = 0
+	n := NewAtLoad(p, 30)
+	for i := 0; i < 200000; i++ {
+		n.Step(100e-12, 30)
+	}
+	drop := p.VNom - n.V()
+	want := 30 * (p.R0 + p.R1 + p.R2)
+	if math.Abs(drop-want) > 1e-4 {
+		t.Errorf("unregulated load-line drop %.2f mV, want %.2f", drop*1e3, want*1e3)
+	}
+}
+
+func TestFeedforwardOnlyCompensatesMostOfTheDrop(t *testing.T) {
+	p := Core2Duo()
+	p.RippleAmp = 0
+	p.RegIntegralHz = 0 // feedforward alone
+	n := NewAtLoad(p, 8)
+	for i := 0; i < 1600000; i++ {
+		n.Step(50e-12, 30)
+	}
+	if d := math.Abs(n.V() - p.VNom); d > 0.002 {
+		t.Errorf("feedforward-only residual %.1f mV, want < 2 mV", d*1e3)
+	}
+}
+
+func TestRegulationDoesNotOscillate(t *testing.T) {
+	// Steady load, regulation active: after settling, the residual
+	// wiggle must be far below the event-droop scale.
+	p := Core2Duo()
+	p.RippleAmp = 0
+	n := NewAtLoad(p, 20)
+	for i := 0; i < 200000; i++ {
+		n.Step(100e-12, 20)
+	}
+	vMin, vMax := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 100000; i++ {
+		v := n.Step(100e-12, 20)
+		vMin, vMax = math.Min(vMin, v), math.Max(vMax, v)
+	}
+	if p2p := vMax - vMin; p2p > 0.0005 {
+		t.Errorf("regulator ringing: %.2f mV p2p at constant load", p2p*1e3)
+	}
+}
+
+func TestRegulationDoesNotDampFastTransients(t *testing.T) {
+	// The control loop lives below ~100 kHz; the droop *depth below the
+	// pre-step operating point* from a fast load step must be the same
+	// with and without regulation. (Absolute minima differ by the DC
+	// load-line offset the regulator removes, so depth is measured
+	// against the voltage just before the step.)
+	droop := func(regulated bool) float64 {
+		p := Core2Duo()
+		p.RippleAmp = 0
+		if !regulated {
+			p.RegIntegralHz = 0
+			p.RegFeedforwardTau = 0
+		}
+		n := NewAtLoad(p, 8)
+		src := StepSource(8, 25, 100e-9)
+		var vBefore float64
+		var vMin = math.Inf(1)
+		pdnTrace := func(tt, v float64) {
+			if tt < 100e-9 {
+				vBefore = v
+			} else if v < vMin {
+				vMin = v
+			}
+		}
+		RunTransient(n, src, 200e-9, 25e-12, pdnTrace)
+		return vBefore - vMin
+	}
+	on, off := droop(true), droop(false)
+	if rel := math.Abs(on-off) / off; rel > 0.10 {
+		t.Errorf("regulation changed the fast droop depth by %.0f%%: %.1f vs %.1f mV",
+			100*rel, on*1e3, off*1e3)
+	}
+}
+
+func TestBankESLFloor(t *testing.T) {
+	// The bank ESL scaling saturates below κ = 8%: Proc3 (3%) and a
+	// hypothetical 1% chip share the same bank inductance, bounding the
+	// resonance blow-up of nearly-capless chips.
+	z3 := New(Core2Duo().WithCapFraction(0.03))
+	z1 := New(Core2Duo().WithCapFraction(0.01))
+	_, m3 := z3.ResonancePeak(1e6, 1e9, 300)
+	_, m1 := z1.ResonancePeak(1e6, 1e9, 300)
+	if m1 > m3*1.6 {
+		t.Errorf("1%%-cap peak %.3f mΩ runs away vs Proc3 %.3f mΩ; ESL floor not applied",
+			m1*1e3, m3*1e3)
+	}
+}
+
+func TestResonancePeakGrowsAsCapsRemoved(t *testing.T) {
+	// With the bank branch inductive, removing capacitors must *raise*
+	// the workload-band resonance peak (this is what makes Proc3 noisier
+	// for real programs, Fig 9) — not just the 1 MHz impedance.
+	prev := 0.0
+	for _, k := range []float64{1.0, 0.75, 0.5, 0.25, 0.03, 0} {
+		_, m := New(Core2Duo().WithCapFraction(k)).ResonancePeak(1e6, 1e9, 300)
+		if m <= prev {
+			t.Errorf("resonance peak not increasing at κ=%g: %.3f mΩ <= %.3f", k, m*1e3, prev*1e3)
+		}
+		prev = m
+	}
+}
+
+func TestResonanceFrequencyFallsAsCapsRemoved(t *testing.T) {
+	// The depleted bank stops shunting the die tank, so the resonance
+	// slides down in frequency (the paper's Proc0 droop "extends over a
+	// longer amount of time").
+	prev := math.Inf(1)
+	for _, k := range []float64{1.0, 0.5, 0.25, 0.03, 0} {
+		f, _ := New(Core2Duo().WithCapFraction(k)).ResonancePeak(1e6, 1e9, 300)
+		if f >= prev {
+			t.Errorf("resonance frequency not decreasing at κ=%g: %.0f MHz", k, f/1e6)
+		}
+		prev = f
+	}
+}
+
+func TestStepAutoSubdivides(t *testing.T) {
+	// A caller asking for a huge dt must still get a stable answer: the
+	// integrator subdivides internally.
+	p := Core2Duo()
+	p.RippleAmp = 0
+	n := NewAtLoad(p, 10)
+	v := n.Step(100e-9, 10) // far above the stability bound
+	if math.IsNaN(v) || math.Abs(v-p.VNom) > 0.05 {
+		t.Errorf("coarse Step diverged: %.4f", v)
+	}
+	// Time must advance by exactly the requested dt.
+	if d := math.Abs(n.Time() - 100e-9); d > 1e-15 {
+		t.Errorf("time advanced by %.3g, want 100ns", n.Time())
+	}
+}

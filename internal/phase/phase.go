@@ -1,0 +1,157 @@
+// Package phase analyzes voltage-noise phase behaviour (Sec IV-A): the
+// recurring patterns of droop activity that programs exhibit over time.
+// The input is the droops-per-1K-cycles interval series a core.Run
+// produces (one point per measurement interval, the paper's 60-second
+// windows); the output is a segmentation into phases — stretches of
+// execution with statistically distinct droop levels — matching how the
+// paper reads Fig 14: 482.sphinx has one flat phase, 416.gamess four
+// coarse phases, 465.tonto many fast oscillations.
+package phase
+
+import (
+	"fmt"
+	"math"
+)
+
+// Segment is one detected phase: the half-open interval [Start, End) of
+// series indices with its mean droop level.
+type Segment struct {
+	Start, End int
+	Mean       float64
+}
+
+// Len returns the segment length in intervals.
+func (s Segment) Len() int { return s.End - s.Start }
+
+// Config tunes the detector.
+type Config struct {
+	// MinLen is the minimum phase length in intervals; shorter
+	// fluctuations are absorbed into the current phase.
+	MinLen int
+	// Threshold is the droop-level change (droops per 1K cycles) that
+	// constitutes a phase transition.
+	Threshold float64
+}
+
+// DefaultConfig returns a detector configuration suited to series in the
+// paper's 0–160 droops-per-1K-cycles range.
+func DefaultConfig() Config {
+	return Config{MinLen: 3, Threshold: 12}
+}
+
+// Detect segments the series into phases using a sliding two-window
+// changepoint scan: at each index the means of the trailing and leading
+// MinLen-point windows are compared, and a phase boundary is placed at
+// every *local maximum* of the difference that exceeds Threshold (taking
+// the local maximum, rather than the first crossing, keeps one step from
+// spawning several jittered boundaries). Boundaries closer than MinLen
+// are suppressed.
+func Detect(series []float64, cfg Config) []Segment {
+	if cfg.MinLen < 1 {
+		panic(fmt.Sprintf("phase: MinLen %d < 1", cfg.MinLen))
+	}
+	if cfg.Threshold <= 0 {
+		panic(fmt.Sprintf("phase: Threshold %g <= 0", cfg.Threshold))
+	}
+	n := len(series)
+	if n == 0 {
+		return nil
+	}
+	k := cfg.MinLen
+
+	// d[i] = |mean(series[i:i+k]) − mean(series[i-k:i])| for i in [k, n-k].
+	d := make([]float64, n+1)
+	if n >= 2*k {
+		var lead, trail float64
+		for _, v := range series[:k] {
+			trail += v
+		}
+		for _, v := range series[k : 2*k] {
+			lead += v
+		}
+		for i := k; i+k <= n; i++ {
+			d[i] = math.Abs(lead-trail) / float64(k)
+			if i+k < n {
+				trail += series[i] - series[i-k]
+				lead += series[i+k] - series[i]
+			}
+		}
+	}
+
+	var boundaries []int
+	last := -k // allow a boundary at index k
+	for i := k; i+k <= n; i++ {
+		if d[i] <= cfg.Threshold || i-last < k {
+			continue
+		}
+		// Local maximum over the ±(k-1) neighbourhood, leftmost on ties.
+		isMax := true
+		for j := i - k + 1; j < i+k && isMax; j++ {
+			if j < 0 || j >= len(d) || j == i {
+				continue
+			}
+			if d[j] > d[i] || (d[j] == d[i] && j < i) {
+				isMax = false
+			}
+		}
+		if isMax {
+			boundaries = append(boundaries, i)
+			last = i
+		}
+	}
+
+	segs := make([]Segment, 0, len(boundaries)+1)
+	start := 0
+	emit := func(end int) {
+		var sum float64
+		for _, v := range series[start:end] {
+			sum += v
+		}
+		segs = append(segs, Segment{Start: start, End: end, Mean: sum / float64(end-start)})
+		start = end
+	}
+	for _, b := range boundaries {
+		emit(b)
+	}
+	emit(n)
+	return segs
+}
+
+// Count returns the number of detected phases.
+func Count(series []float64, cfg Config) int { return len(Detect(series, cfg)) }
+
+// Summary characterizes a program's noise-phase structure.
+type Summary struct {
+	Phases int // number of detected phases
+	// TransitionsPerKInterval is the phase-change rate: how fast the
+	// program oscillates between noise levels (tonto ≫ gamess ≫ sphinx).
+	TransitionsPerKInterval float64
+	// MeanDroops is the series average (droops per 1K cycles).
+	MeanDroops float64
+	// Swing is the spread between the noisiest and quietest phase means.
+	Swing float64
+}
+
+// Summarize runs detection and reduces the segmentation to the numbers
+// the paper reads off Fig 14.
+func Summarize(series []float64, cfg Config) Summary {
+	segs := Detect(series, cfg)
+	if len(segs) == 0 {
+		return Summary{}
+	}
+	var total float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range segs {
+		lo = math.Min(lo, s.Mean)
+		hi = math.Max(hi, s.Mean)
+	}
+	for _, v := range series {
+		total += v
+	}
+	return Summary{
+		Phases:                  len(segs),
+		TransitionsPerKInterval: 1000 * float64(len(segs)-1) / float64(len(series)),
+		MeanDroops:              total / float64(len(series)),
+		Swing:                   hi - lo,
+	}
+}

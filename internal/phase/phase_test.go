@@ -1,0 +1,156 @@
+package phase
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func flat(n int, level float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = level
+	}
+	return out
+}
+
+func TestDetectEmptySeries(t *testing.T) {
+	if segs := Detect(nil, DefaultConfig()); segs != nil {
+		t.Errorf("expected nil segments, got %v", segs)
+	}
+}
+
+func TestFlatSeriesIsOnePhase(t *testing.T) {
+	segs := Detect(flat(50, 100), DefaultConfig())
+	if len(segs) != 1 {
+		t.Fatalf("flat series split into %d phases", len(segs))
+	}
+	if segs[0].Start != 0 || segs[0].End != 50 || segs[0].Mean != 100 {
+		t.Errorf("segment = %+v", segs[0])
+	}
+}
+
+func TestNoisyFlatSeriesIsOnePhase(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	series := flat(100, 100)
+	for i := range series {
+		series[i] += rng.NormFloat64() * 3 // well under the 12-droop threshold
+	}
+	if n := Count(series, DefaultConfig()); n != 1 {
+		t.Errorf("noisy flat series split into %d phases", n)
+	}
+}
+
+func TestStepSeriesIsTwoPhases(t *testing.T) {
+	series := append(flat(25, 60), flat(25, 100)...)
+	segs := Detect(series, DefaultConfig())
+	if len(segs) != 2 {
+		t.Fatalf("step series split into %d phases, want 2", len(segs))
+	}
+	if segs[0].Mean > 65 || segs[1].Mean < 95 {
+		t.Errorf("segment means %g, %g", segs[0].Mean, segs[1].Mean)
+	}
+	if segs[0].End != segs[1].Start {
+		t.Error("segments not contiguous")
+	}
+}
+
+func TestGamessLikeSeriesHasFourPhases(t *testing.T) {
+	// 416.gamess alternates between ~60 and ~100 droops per 1K cycles
+	// across four coarse phases (Fig 14b).
+	var series []float64
+	for _, level := range []float64{60, 100, 60, 100} {
+		series = append(series, flat(15, level)...)
+	}
+	if n := Count(series, DefaultConfig()); n != 4 {
+		t.Errorf("gamess-like series has %d phases, want 4", n)
+	}
+}
+
+func TestOscillationRateOrdering(t *testing.T) {
+	// tonto (fast oscillation) must show a much higher transition rate
+	// than gamess (coarse phases), which beats sphinx (flat).
+	mk := func(period int, n int) []float64 {
+		var s []float64
+		for len(s) < n {
+			s = append(s, flat(period, 60)...)
+			s = append(s, flat(period, 100)...)
+		}
+		return s[:n]
+	}
+	sphinx := Summarize(flat(120, 100), DefaultConfig())
+	gamess := Summarize(mk(30, 120), DefaultConfig())
+	tonto := Summarize(mk(6, 120), DefaultConfig())
+	if sphinx.Phases != 1 {
+		t.Errorf("sphinx-like: %d phases", sphinx.Phases)
+	}
+	if !(tonto.TransitionsPerKInterval > gamess.TransitionsPerKInterval &&
+		gamess.TransitionsPerKInterval > sphinx.TransitionsPerKInterval) {
+		t.Errorf("transition rates not ordered: tonto %.1f, gamess %.1f, sphinx %.1f",
+			tonto.TransitionsPerKInterval, gamess.TransitionsPerKInterval,
+			sphinx.TransitionsPerKInterval)
+	}
+}
+
+func TestSummarizeSwing(t *testing.T) {
+	series := append(flat(20, 60), flat(20, 100)...)
+	s := Summarize(series, DefaultConfig())
+	if s.Swing < 30 || s.Swing > 50 {
+		t.Errorf("swing = %g, want ≈40", s.Swing)
+	}
+	if s.MeanDroops != 80 {
+		t.Errorf("mean = %g, want 80", s.MeanDroops)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{{MinLen: 0, Threshold: 1}, {MinLen: 1, Threshold: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", cfg)
+				}
+			}()
+			Detect([]float64{1}, cfg)
+		}()
+	}
+}
+
+// Properties: segments tile the series exactly and every segment respects
+// the detector's minimum length (except possibly the last remainder).
+func TestSegmentationTilesProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		series := make([]float64, n)
+		level := 80.0
+		for i := range series {
+			if rng.Float64() < 0.05 {
+				level = 40 + rng.Float64()*120
+			}
+			series[i] = level + rng.NormFloat64()*2
+		}
+		segs := Detect(series, cfg)
+		if len(segs) == 0 {
+			return false
+		}
+		if segs[0].Start != 0 || segs[len(segs)-1].End != n {
+			return false
+		}
+		for i := 1; i < len(segs); i++ {
+			if segs[i].Start != segs[i-1].End {
+				return false
+			}
+		}
+		for _, s := range segs[:len(segs)-1] {
+			if s.Len() < cfg.MinLen {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

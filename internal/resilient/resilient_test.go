@@ -1,0 +1,206 @@
+package resilient
+
+import (
+	"math"
+	"testing"
+
+	"voltsmooth/internal/sense"
+)
+
+// synthRun builds RunData with an exponentially growing emergency count as
+// the margin tightens — the shape real measurements have (Fig 7's CDF tail).
+func synthRun(cycles uint64, margins []float64, scale float64) RunData {
+	em := make([]uint64, len(margins))
+	for i, m := range margins {
+		em[i] = uint64(scale * math.Exp(-m/0.015))
+	}
+	return RunData{Name: "synthetic", Cycles: cycles, Margins: margins, Emergencies: em}
+}
+
+func testMargins() []float64 {
+	var ms []float64
+	for m := 0.01; m <= 0.1401; m += 0.005 {
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+func TestGainCalibration(t *testing.T) {
+	m := DefaultModel()
+	// Bowman: removing a 10% margin ⇒ 15% frequency improvement.
+	if got := m.Gain(0.04); math.Abs(got-1.15) > 1e-12 {
+		t.Errorf("Gain(4%%) = %g, want 1.15", got)
+	}
+	if got := m.Gain(m.WorstCaseMargin); got != 1 {
+		t.Errorf("Gain at worst-case margin = %g, want 1", got)
+	}
+}
+
+func TestGainPanicsOutsideRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultModel().Gain(0.2)
+}
+
+func TestImprovementZeroEmergenciesIsPureFrequencyGain(t *testing.T) {
+	m := DefaultModel()
+	r := RunData{Name: "clean", Cycles: 1000, Margins: []float64{0.04}, Emergencies: []uint64{0}}
+	got := m.Improvement(r, 0.04, 1e6)
+	if math.Abs(got-15) > 1e-9 {
+		t.Errorf("improvement = %g%%, want 15%% (pure Bowman gain)", got)
+	}
+}
+
+func TestImprovementDeadZone(t *testing.T) {
+	m := DefaultModel()
+	// So many emergencies that even a tiny recovery cost destroys the gain.
+	r := RunData{Name: "noisy", Cycles: 1000, Margins: []float64{0.02}, Emergencies: []uint64{500}}
+	if got := m.Improvement(r, 0.02, 1000); got >= 0 {
+		t.Errorf("improvement = %g%%, want negative (dead zone)", got)
+	}
+}
+
+func TestImprovementRecoveryCostMonotone(t *testing.T) {
+	m := DefaultModel()
+	r := synthRun(1_000_000, testMargins(), 2000)
+	prev := math.Inf(1)
+	for _, cost := range []float64{1, 10, 100, 1000, 10000} {
+		imp := m.Improvement(r, 0.02, cost)
+		if imp > prev {
+			t.Errorf("improvement rose with recovery cost at %g", cost)
+		}
+		prev = imp
+	}
+}
+
+func TestOptimalMarginOrderingAcrossCosts(t *testing.T) {
+	// Paper: "Coarser-grained recovery mechanisms have more relaxed
+	// optimal margins while finer-grained schemes have more aggressive
+	// margins and … better performance improvements."
+	m := DefaultModel()
+	runs := []RunData{synthRun(1_000_000, testMargins(), 3000)}
+	costs := []float64{1, 10, 100, 1000, 10000, 100000}
+	var prev Optimum
+	for i, c := range costs {
+		opt := m.OptimalMargin(runs, testMargins(), c)
+		if i > 0 {
+			if opt.Margin < prev.Margin {
+				t.Errorf("optimal margin tightened as cost grew: cost %g margin %.3f < %.3f",
+					c, opt.Margin, prev.Margin)
+			}
+			if opt.Improvement > prev.Improvement {
+				t.Errorf("improvement rose with cost: %g: %.2f%% > %.2f%%",
+					c, opt.Improvement, prev.Improvement)
+			}
+		}
+		prev = opt
+	}
+}
+
+func TestSweepSinglePeak(t *testing.T) {
+	// For the paper-shaped emergency curve there must be exactly one
+	// performance peak per recovery cost (Sec III-B "Optimal Margins":
+	// "There is only one performance peak per recovery cost").
+	m := DefaultModel()
+	runs := []RunData{synthRun(1_000_000, testMargins(), 3000)}
+	sweep := m.Sweep(runs, testMargins(), 1000)
+	peaks := 0
+	for i := 1; i < len(sweep)-1; i++ {
+		if sweep[i].Improvement > sweep[i-1].Improvement &&
+			sweep[i].Improvement >= sweep[i+1].Improvement {
+			peaks++
+		}
+	}
+	if peaks > 1 {
+		t.Errorf("found %d interior peaks, want at most 1", peaks)
+	}
+}
+
+func TestMeanImprovementAverages(t *testing.T) {
+	m := DefaultModel()
+	clean := RunData{Name: "a", Cycles: 1000, Margins: []float64{0.04}, Emergencies: []uint64{0}}
+	noisy := RunData{Name: "b", Cycles: 1000, Margins: []float64{0.04}, Emergencies: []uint64{1000}}
+	mean := m.MeanImprovement([]RunData{clean, noisy}, 0.04, 100)
+	a := m.Improvement(clean, 0.04, 100)
+	b := m.Improvement(noisy, 0.04, 100)
+	if math.Abs(mean-(a+b)/2) > 1e-12 {
+		t.Errorf("mean = %g, want %g", mean, (a+b)/2)
+	}
+	if m.MeanImprovement(nil, 0.04, 100) != 0 {
+		t.Error("empty mean should be 0")
+	}
+}
+
+func TestHeatmapShape(t *testing.T) {
+	m := DefaultModel()
+	runs := []RunData{synthRun(1_000_000, testMargins(), 3000)}
+	costs := []float64{1, 100, 10000}
+	hm := m.Heatmap(runs, testMargins(), costs)
+	if len(hm) != len(costs) {
+		t.Fatalf("heatmap rows = %d", len(hm))
+	}
+	for i := range hm {
+		if len(hm[i]) != len(testMargins()) {
+			t.Fatalf("heatmap row %d has %d cols", i, len(hm[i]))
+		}
+	}
+	// At the widest margin all rows agree (no emergencies there).
+	last := len(testMargins()) - 1
+	if math.Abs(hm[0][last]-hm[2][last]) > 0.5 {
+		t.Errorf("wide-margin cells differ: %g vs %g", hm[0][last], hm[2][last])
+	}
+}
+
+func TestDeadZoneGrowsWithCost(t *testing.T) {
+	m := DefaultModel()
+	runs := []RunData{synthRun(100_000, testMargins(), 5000)}
+	small := len(m.DeadZone(runs, testMargins(), 100))
+	large := len(m.DeadZone(runs, testMargins(), 100000))
+	if large < small {
+		t.Errorf("dead zone shrank with cost: %d -> %d margins", small, large)
+	}
+	if large == 0 {
+		t.Error("no dead zone at 100k-cycle recovery; emergencies too rare in synthetic data")
+	}
+}
+
+func TestFromScope(t *testing.T) {
+	s := sense.NewScope(1.0, []float64{0.02, 0.05})
+	s.Sample(0.97) // crosses 2%
+	s.Sample(1.0)
+	s.Sample(0.94) // crosses both
+	r := FromScope("x", 3, s)
+	if r.EmergenciesAt(0.02) != 2 || r.EmergenciesAt(0.05) != 1 {
+		t.Errorf("emergencies = %v", r.Emergencies)
+	}
+	if r.Cycles != 3 || r.Name != "x" {
+		t.Errorf("run metadata wrong: %+v", r)
+	}
+}
+
+func TestEmergenciesAtUnknownMarginPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r := RunData{Name: "x", Cycles: 1, Margins: []float64{0.02}, Emergencies: []uint64{0}}
+	r.EmergenciesAt(0.03)
+}
+
+func TestPasses(t *testing.T) {
+	m := DefaultModel()
+	clean := RunData{Name: "a", Cycles: 1000, Margins: []float64{0.04}, Emergencies: []uint64{0}}
+	if !m.Passes(clean, 0.04, 1000, 15, 1.0) {
+		t.Error("clean run should meet the 15% target")
+	}
+	if m.Passes(clean, 0.04, 1000, 16, 1.0) {
+		t.Error("clean run cannot exceed the pure frequency gain")
+	}
+	if !m.Passes(clean, 0.04, 1000, 16, 0.9) {
+		t.Error("relaxed criterion (90%) should accept 15% against a 16% target")
+	}
+}

@@ -1,0 +1,265 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"voltsmooth/internal/counters"
+	"voltsmooth/internal/sense"
+	"voltsmooth/internal/uarch"
+	"voltsmooth/internal/workload"
+)
+
+// The online scheduler is the deployment the paper's stall-ratio metric
+// exists for: "Such a high correlation between coarse-grained performance
+// counter data … and very fine-grained voltage noise measurements implies
+// that high-latency software solutions are applicable to voltage noise."
+// Unlike the oracle study (PairTable), nothing here sees a droop counter:
+// the scheduler reads only the architectural performance counters each
+// quantum and infers noise behaviour from the stall ratio.
+
+// Job is one program in the scheduler's run queue with remaining work.
+type Job struct {
+	Profile workload.Profile
+	// RemainingInstr is the work left until the job completes.
+	RemainingInstr uint64
+
+	stream workload.Stream // persists across quanta (its own position)
+	// stallEMA is the scheduler's noise estimate from observed counters.
+	stallEMA float64
+	ipcEMA   float64
+	observed bool
+	done     bool
+}
+
+// JobView is the per-job state an online policy may see: counters-derived
+// estimates only, never droop measurements.
+type JobView struct {
+	ID         int
+	StallRatio float64
+	IPC        float64
+	Observed   bool
+}
+
+// OnlinePolicy picks the next pair of runnable jobs from counter-derived
+// views. Returning the same index twice is not allowed; with one runnable
+// job the scheduler runs it against an idle core automatically.
+type OnlinePolicy interface {
+	Name() string
+	Pick(view []JobView) (a, b int)
+}
+
+// StallClusterPolicy is the noise-aware online policy: co-schedule jobs
+// with *similar* stall ratios. On this platform (as in the oracle Droop
+// study) pairing like with like minimizes chip-wide emergencies: two
+// stally programs' droop events merge on the shared rail rather than
+// spreading across the whole schedule, while two busy programs keep each
+// other's current draw continuous.
+type StallClusterPolicy struct{}
+
+// Name implements OnlinePolicy.
+func (StallClusterPolicy) Name() string { return "stall-cluster" }
+
+// Pick implements OnlinePolicy: the two runnable jobs with the closest
+// stall ratios (preferring the stalliest cluster first so noisy jobs
+// retire while co-run with their own kind).
+func (StallClusterPolicy) Pick(view []JobView) (int, int) {
+	if len(view) < 2 {
+		return view[0].ID, -1
+	}
+	sorted := append([]JobView(nil), view...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].StallRatio > sorted[j].StallRatio })
+	return sorted[0].ID, sorted[1].ID
+}
+
+// StallSpreadPolicy is the contrast policy: pair the stalliest job with
+// the least stally one ("keep the adjacent core busy"). Included because
+// it is the intuitive first guess the paper's Sec IV-C discussion entertains;
+// measured against StallClusterPolicy it loses on this platform.
+type StallSpreadPolicy struct{}
+
+// Name implements OnlinePolicy.
+func (StallSpreadPolicy) Name() string { return "stall-spread" }
+
+// Pick implements OnlinePolicy.
+func (StallSpreadPolicy) Pick(view []JobView) (int, int) {
+	if len(view) < 2 {
+		return view[0].ID, -1
+	}
+	sorted := append([]JobView(nil), view...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].StallRatio > sorted[j].StallRatio })
+	return sorted[0].ID, sorted[len(sorted)-1].ID
+}
+
+// RandomOnlinePolicy picks runnable pairs uniformly (seeded).
+type RandomOnlinePolicy struct{ Seed int64 }
+
+// Name implements OnlinePolicy.
+func (RandomOnlinePolicy) Name() string { return "random" }
+
+// Pick implements OnlinePolicy.
+func (r RandomOnlinePolicy) Pick(view []JobView) (int, int) {
+	if len(view) < 2 {
+		return view[0].ID, -1
+	}
+	rng := rand.New(rand.NewSource(r.Seed ^ int64(len(view))<<32 ^ int64(view[0].ID)))
+	i := rng.Intn(len(view))
+	j := rng.Intn(len(view) - 1)
+	if j >= i {
+		j++
+	}
+	return view[i].ID, view[j].ID
+}
+
+// OnlineResult summarizes one complete schedule execution.
+type OnlineResult struct {
+	Policy        string
+	TotalCycles   uint64
+	Emergencies   uint64 // margin crossings over the whole schedule
+	DroopsPerKc   float64
+	Quanta        int
+	CompletedJobs int
+}
+
+// OnlineConfig shapes the scheduler run.
+type OnlineConfig struct {
+	Chip uarch.Config
+	// QuantumCycles is the scheduling interval (the paper's coarse
+	// counter-sampling granularity).
+	QuantumCycles uint64
+	// Margin is the emergency threshold measured for the report (the
+	// scheduler itself never sees it).
+	Margin float64
+	// EMAAlpha is the smoothing applied to counter observations.
+	EMAAlpha float64
+	// MaxQuanta bounds runaway schedules (0 = no bound).
+	MaxQuanta int
+}
+
+// DefaultOnlineConfig returns sensible defaults for a Proc3-class chip.
+func DefaultOnlineConfig(chip uarch.Config, margin float64) OnlineConfig {
+	return OnlineConfig{
+		Chip:          chip,
+		QuantumCycles: 25_000,
+		Margin:        margin,
+		EMAAlpha:      0.4,
+	}
+}
+
+// NewJob builds a job with the given amount of work.
+func NewJob(p workload.Profile, instructions uint64) *Job {
+	if instructions == 0 {
+		panic("sched: NewJob with no work")
+	}
+	return &Job{Profile: p, RemainingInstr: instructions}
+}
+
+// RunOnline executes the job set to completion under the policy and
+// reports total time and chip-wide emergencies. Jobs run two at a time in
+// quanta; between quanta the scheduler reads each core's counter deltas,
+// updates its stall-ratio estimates, and re-picks. Unobserved jobs carry
+// a neutral prior so every job gets scheduled early on.
+func RunOnline(cfg OnlineConfig, jobs []*Job, policy OnlinePolicy) OnlineResult {
+	if len(jobs) == 0 {
+		panic("sched: RunOnline with no jobs")
+	}
+	if cfg.QuantumCycles == 0 {
+		panic("sched: zero quantum")
+	}
+	chip := uarch.NewChip(cfg.Chip)
+	scope := sense.NewScope(cfg.Chip.PDN.VNom, []float64{cfg.Margin})
+	res := OnlineResult{Policy: policy.Name()}
+
+	for i, j := range jobs {
+		if j.stream == nil {
+			j.stream = j.Profile.NewStream()
+		}
+		j.stallEMA = 0.5 // neutral prior until observed
+		j.ipcEMA = 1
+		_ = i
+	}
+
+	runnable := func() []JobView {
+		var out []JobView
+		for i, j := range jobs {
+			if !j.done {
+				out = append(out, JobView{ID: i, StallRatio: j.stallEMA, IPC: j.ipcEMA, Observed: j.observed})
+			}
+		}
+		return out
+	}
+
+	for {
+		view := runnable()
+		if len(view) == 0 {
+			break
+		}
+		if cfg.MaxQuanta > 0 && res.Quanta >= cfg.MaxQuanta {
+			break
+		}
+		a, b := policy.Pick(view)
+		validatePick(view, a, b)
+
+		assign := func(coreID, jobID int) counters.Counters {
+			if jobID < 0 {
+				chip.SetStream(coreID, nil)
+				return *chip.Counters(coreID)
+			}
+			chip.SetStream(coreID, jobs[jobID].stream)
+			return *chip.Counters(coreID)
+		}
+		snapA := assign(0, a)
+		snapB := assign(1, b)
+
+		for i := uint64(0); i < cfg.QuantumCycles; i++ {
+			scope.Sample(chip.Cycle())
+		}
+		res.TotalCycles += cfg.QuantumCycles
+		res.Quanta++
+
+		update := func(jobID int, snap counters.Counters, coreID int) {
+			if jobID < 0 {
+				return
+			}
+			d := chip.Counters(coreID).Delta(snap)
+			j := jobs[jobID]
+			if !j.observed {
+				j.stallEMA = d.StallRatio()
+				j.ipcEMA = d.IPC()
+				j.observed = true
+			} else {
+				j.stallEMA += cfg.EMAAlpha * (d.StallRatio() - j.stallEMA)
+				j.ipcEMA += cfg.EMAAlpha * (d.IPC() - j.ipcEMA)
+			}
+			if d.Instructions >= j.RemainingInstr {
+				j.RemainingInstr = 0
+				j.done = true
+				res.CompletedJobs++
+			} else {
+				j.RemainingInstr -= d.Instructions
+			}
+		}
+		update(a, snapA, 0)
+		update(b, snapB, 1)
+	}
+
+	res.Emergencies = scope.Crossings(cfg.Margin)
+	res.DroopsPerKc = 1000 * float64(res.Emergencies) / float64(res.TotalCycles)
+	return res
+}
+
+func validatePick(view []JobView, a, b int) {
+	okA, okB := false, b < 0
+	for _, v := range view {
+		if v.ID == a {
+			okA = true
+		}
+		if v.ID == b {
+			okB = true
+		}
+	}
+	if !okA || !okB || a == b {
+		panic(fmt.Sprintf("sched: policy picked invalid pair (%d, %d)", a, b))
+	}
+}

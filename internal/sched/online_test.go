@@ -1,0 +1,187 @@
+package sched
+
+import (
+	"testing"
+
+	"voltsmooth/internal/core"
+	"voltsmooth/internal/pdn"
+	"voltsmooth/internal/uarch"
+	"voltsmooth/internal/workload"
+)
+
+func onlineChip() uarch.Config {
+	cfg := uarch.DefaultConfig()
+	cfg.PDN = cfg.PDN.WithCapFraction(pdn.Proc3.CapFraction)
+	return cfg
+}
+
+func onlineJobs(t *testing.T, names []string, instr uint64) []*Job {
+	t.Helper()
+	var out []*Job
+	for _, n := range names {
+		p, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, NewJob(p, instr))
+	}
+	return out
+}
+
+func TestPoliciesPickValidPairs(t *testing.T) {
+	view := []JobView{{ID: 3, StallRatio: 0.8}, {ID: 7, StallRatio: 0.2}, {ID: 9, StallRatio: 0.5}}
+	for _, p := range []OnlinePolicy{StallClusterPolicy{}, StallSpreadPolicy{}, RandomOnlinePolicy{Seed: 5}} {
+		a, b := p.Pick(view)
+		if a == b {
+			t.Errorf("%s picked the same job twice", p.Name())
+		}
+		valid := map[int]bool{3: true, 7: true, 9: true}
+		if !valid[a] || !valid[b] {
+			t.Errorf("%s picked outside the view: %d, %d", p.Name(), a, b)
+		}
+	}
+}
+
+func TestStallClusterPairsSimilar(t *testing.T) {
+	view := []JobView{
+		{ID: 0, StallRatio: 0.9}, {ID: 1, StallRatio: 0.85},
+		{ID: 2, StallRatio: 0.2}, {ID: 3, StallRatio: 0.15},
+	}
+	a, b := StallClusterPolicy{}.Pick(view)
+	if !(a == 0 && b == 1 || a == 1 && b == 0) {
+		t.Errorf("cluster picked (%d,%d), want the two stalliest (0,1)", a, b)
+	}
+	a, b = StallSpreadPolicy{}.Pick(view)
+	if !(a == 0 && b == 3) {
+		t.Errorf("spread picked (%d,%d), want the extremes (0,3)", a, b)
+	}
+}
+
+func TestSingleRunnableJobRunsAlone(t *testing.T) {
+	view := []JobView{{ID: 4, StallRatio: 0.5}}
+	for _, p := range []OnlinePolicy{StallClusterPolicy{}, StallSpreadPolicy{}, RandomOnlinePolicy{}} {
+		a, b := p.Pick(view)
+		if a != 4 || b != -1 {
+			t.Errorf("%s with one job picked (%d,%d), want (4,-1)", p.Name(), a, b)
+		}
+	}
+}
+
+func TestRunOnlineCompletesAllJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("online run is slow")
+	}
+	cfg := DefaultOnlineConfig(onlineChip(), core.PhaseMarginFor(0.03))
+	cfg.QuantumCycles = 10_000
+	jobs := onlineJobs(t, []string{"mcf", "namd", "hmmer"}, 50_000)
+	res := RunOnline(cfg, jobs, StallClusterPolicy{})
+	if res.CompletedJobs != 3 {
+		t.Fatalf("completed %d of 3 jobs", res.CompletedJobs)
+	}
+	for i, j := range jobs {
+		if !j.done || j.RemainingInstr != 0 {
+			t.Errorf("job %d not drained: %d instr left", i, j.RemainingInstr)
+		}
+	}
+	if res.TotalCycles == 0 || res.Quanta == 0 {
+		t.Error("no work recorded")
+	}
+	if res.Emergencies == 0 {
+		t.Error("Proc3 run recorded no emergencies; margin accounting broken")
+	}
+}
+
+func TestRunOnlineDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("online run is slow")
+	}
+	run := func() OnlineResult {
+		cfg := DefaultOnlineConfig(onlineChip(), core.PhaseMarginFor(0.03))
+		cfg.QuantumCycles = 8_000
+		return RunOnline(cfg, onlineJobs(t, []string{"mcf", "gcc", "namd"}, 40_000), StallClusterPolicy{})
+	}
+	a, b := run(), run()
+	if a.Emergencies != b.Emergencies || a.TotalCycles != b.TotalCycles {
+		t.Errorf("online schedule not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunOnlineMaxQuantaBound(t *testing.T) {
+	cfg := DefaultOnlineConfig(onlineChip(), core.PhaseMarginFor(0.03))
+	cfg.QuantumCycles = 5_000
+	cfg.MaxQuanta = 3
+	res := RunOnline(cfg, onlineJobs(t, []string{"mcf", "lbm"}, 1<<40), StallClusterPolicy{})
+	if res.Quanta != 3 {
+		t.Errorf("ran %d quanta, bound was 3", res.Quanta)
+	}
+	if res.CompletedJobs != 0 {
+		t.Error("impossible completion")
+	}
+}
+
+func TestRunOnlineObservesCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("online run is slow")
+	}
+	cfg := DefaultOnlineConfig(onlineChip(), core.PhaseMarginFor(0.03))
+	cfg.QuantumCycles = 10_000
+	jobs := onlineJobs(t, []string{"mcf", "namd"}, 60_000)
+	RunOnline(cfg, jobs, StallClusterPolicy{})
+	// After running, the scheduler's estimates must reflect reality:
+	// mcf far stallier than namd.
+	if !jobs[0].observed || !jobs[1].observed {
+		t.Fatal("jobs never observed")
+	}
+	if jobs[0].stallEMA < 2*jobs[1].stallEMA {
+		t.Errorf("stall estimates not learned: mcf %.3f vs namd %.3f",
+			jobs[0].stallEMA, jobs[1].stallEMA)
+	}
+}
+
+func TestRunOnlinePanicsOnBadInput(t *testing.T) {
+	cfg := DefaultOnlineConfig(onlineChip(), 0.023)
+	for _, f := range []func(){
+		func() { RunOnline(cfg, nil, StallClusterPolicy{}) },
+		func() { NewJob(workload.Profile{}, 0) },
+		func() {
+			bad := cfg
+			bad.QuantumCycles = 0
+			RunOnline(bad, []*Job{NewJob(mustProfile("mcf"), 10)}, StallClusterPolicy{})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// badPolicy picks an invalid pair to exercise validation.
+type badPolicy struct{}
+
+func (badPolicy) Name() string              { return "bad" }
+func (badPolicy) Pick([]JobView) (int, int) { return 0, 0 }
+
+func TestRunOnlineRejectsBadPolicy(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid pick")
+		}
+	}()
+	cfg := DefaultOnlineConfig(onlineChip(), 0.023)
+	cfg.QuantumCycles = 1000
+	RunOnline(cfg, onlineJobs(t, []string{"mcf", "namd"}, 10_000), badPolicy{})
+}
+
+// mustProfile is a panic-on-error lookup for the panic-table test above.
+func mustProfile(name string) workload.Profile {
+	p, err := workload.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"voltsmooth/internal/resilient"
+)
+
+// PassAnalysis is one row of Tab I plus the Fig 19 policy columns for a
+// single recovery cost.
+type PassAnalysis struct {
+	RecoveryCost float64
+	// OptimalMargin is the margin with the best corpus-wide mean
+	// improvement at this cost (Tab I "Optimal Margin").
+	OptimalMargin float64
+	// ExpectedImprovement is that best mean improvement in percent
+	// (Tab I "Expected Improvement").
+	ExpectedImprovement float64
+	// SPECratePass counts the self-pair schedules meeting the expected
+	// improvement (Tab I "# of Schedules That Pass").
+	SPECratePass int
+	// PolicyPass counts, per policy name, how many best-partner
+	// schedules meet the same target (the Fig 19 comparison).
+	PolicyPass map[string]int
+}
+
+// PassIncreasePercent returns the Fig 19 y-value for a policy: the
+// percentage increase in passing schedules over the SPECrate baseline.
+func (a PassAnalysis) PassIncreasePercent(policy string) float64 {
+	if a.SPECratePass == 0 {
+		if a.PolicyPass[policy] > 0 {
+			return 100 // define: any passes over a zero baseline is +100%
+		}
+		return 0
+	}
+	return 100 * (float64(a.PolicyPass[policy])/float64(a.SPECratePass) - 1)
+}
+
+// PassConfig parameterizes the analysis.
+type PassConfig struct {
+	Model resilient.Model
+	// Margins to search for each cost's optimum; they must be tracked in
+	// the pair table's runs.
+	Margins []float64
+	// Costs is the recovery-cost sweep (Tab I: 1 … 100000 cycles).
+	Costs []float64
+	// Corpus is the run population that defines the optimal margin and
+	// expected improvement — the paper uses all 881 workloads (singles,
+	// multi-threaded, and all multi-program pairs).
+	Corpus []resilient.RunData
+	// PassFraction relaxes the pass criterion: a schedule passes when
+	// its improvement reaches PassFraction × expected. 1.0 is strict.
+	PassFraction float64
+}
+
+// AnalyzePassing reproduces Tab I and the data behind Fig 19: for every
+// recovery cost it finds the corpus-optimal margin and expected
+// improvement, counts passing SPECrate schedules, and counts passing
+// schedules for each policy's best-partner assignment.
+func AnalyzePassing(t *PairTable, cfg PassConfig, policies []Policy) []PassAnalysis {
+	if len(cfg.Corpus) == 0 {
+		panic("sched: AnalyzePassing needs a corpus")
+	}
+	if cfg.PassFraction <= 0 {
+		panic("sched: PassFraction must be positive")
+	}
+	out := make([]PassAnalysis, 0, len(cfg.Costs))
+	for _, cost := range cfg.Costs {
+		opt := cfg.Model.OptimalMargin(cfg.Corpus, cfg.Margins, cost)
+		a := PassAnalysis{
+			RecoveryCost:        cost,
+			OptimalMargin:       opt.Margin,
+			ExpectedImprovement: opt.Improvement,
+			PolicyPass:          make(map[string]int, len(policies)),
+		}
+		for i := 0; i < t.Size(); i++ {
+			if cfg.Model.Passes(t.Runs[i][i], opt.Margin, cost, opt.Improvement, cfg.PassFraction) {
+				a.SPECratePass++
+			}
+		}
+		for _, p := range policies {
+			count := 0
+			for _, pr := range PolicySchedules(t, p) {
+				if cfg.Model.Passes(t.Runs[pr[0]][pr[1]], opt.Margin, cost, opt.Improvement, cfg.PassFraction) {
+					count++
+				}
+			}
+			a.PolicyPass[p.Name()] = count
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// CorpusFromTable flattens every pair run in the table into a corpus
+// slice (the multi-program portion of the paper's 881 runs).
+func CorpusFromTable(t *PairTable) []resilient.RunData {
+	out := make([]resilient.RunData, 0, t.Size()*t.Size())
+	for i := range t.Runs {
+		out = append(out, t.Runs[i]...)
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+// Package sched implements the paper's Sec IV: voltage-noise-aware thread
+// scheduling. Because resilient (rollback-capable) hardware does not exist
+// to run on — neither for the paper's authors nor here — the study is
+// oracle-based: every candidate co-schedule is measured once (droops and
+// IPC for all N×N benchmark pairs), and scheduling policies then operate
+// on that oracle table exactly as the paper describes ("The scheduling
+// experiment is oracle-based, requiring knowledge of all runs a priori.
+// During a pre-run phase we gather all the data necessary across 29×29
+// CPU2006 program combinations.").
+package sched
+
+import (
+	"fmt"
+
+	"voltsmooth/internal/core"
+	"voltsmooth/internal/resilient"
+	"voltsmooth/internal/stats"
+	"voltsmooth/internal/uarch"
+	"voltsmooth/internal/workload"
+)
+
+// PairTable is the oracle: measured behaviour of every benchmark pair on
+// the two-core platform, plus each benchmark alone (single-core) for the
+// Fig 17 reference markers.
+type PairTable struct {
+	Names []string
+	// Margin is the emergency threshold the droop counts use (the
+	// paper's hypothetical 2.3% characterization margin).
+	Margin float64
+	// Cycles is the measured window per run.
+	Cycles uint64
+
+	// Droops[i][j]: chip-wide droops per 1K cycles with program i on
+	// core 0 and program j on core 1.
+	Droops [][]float64
+	// IPC[i][j]: total (sum over cores) IPC of the pair.
+	IPC [][]float64
+	// Runs[i][j]: full emergency data of the pair run, for the
+	// resilient-design passing analysis (Tab I / Fig 19).
+	Runs [][]resilient.RunData
+
+	// SingleDroops[i]: droops per 1K cycles with program i alone
+	// (other core idling) — the circular markers of Fig 17.
+	SingleDroops []float64
+	// SingleIPC[i]: IPC of program i alone.
+	SingleIPC []float64
+}
+
+// BuildConfig controls oracle-table construction.
+type BuildConfig struct {
+	Chip   uarch.Config
+	Cycles uint64 // measured cycles per run
+	Warmup uint64
+	Margin float64 // droop-count margin; 0 means core.PhaseMargin
+	// Margins tracked for the resilient analysis; nil = core.DefaultMargins.
+	Margins []float64
+}
+
+// DefaultBuildConfig returns the configuration used by the experiments:
+// the stock chip, the 2.3% characterization margin, and the full margin
+// sweep for the resilient model.
+func DefaultBuildConfig() BuildConfig {
+	return BuildConfig{
+		Chip:   uarch.DefaultConfig(),
+		Cycles: 400_000,
+		Warmup: 4_000,
+		Margin: core.PhaseMargin,
+	}
+}
+
+// BuildPairTable measures all len(profiles)² pairs plus the single-core
+// references. This is the experiment's pre-run phase; with the default
+// 400k-cycle windows the full 29×29 sweep is sizeable, so callers running
+// quick checks should pass fewer profiles or fewer cycles.
+func BuildPairTable(cfg BuildConfig, profiles []workload.Profile) *PairTable {
+	if len(profiles) == 0 {
+		panic("sched: BuildPairTable needs at least one profile")
+	}
+	if cfg.Margin == 0 {
+		cfg.Margin = core.PhaseMargin
+	}
+	margins := cfg.Margins
+	if margins == nil {
+		margins = core.DefaultMargins()
+	}
+	rc := core.RunConfig{Cycles: cfg.Cycles, WarmupCycles: cfg.Warmup, Margins: margins}
+
+	n := len(profiles)
+	t := &PairTable{
+		Names:        make([]string, n),
+		Margin:       cfg.Margin,
+		Cycles:       cfg.Cycles,
+		Droops:       make([][]float64, n),
+		IPC:          make([][]float64, n),
+		Runs:         make([][]resilient.RunData, n),
+		SingleDroops: make([]float64, n),
+		SingleIPC:    make([]float64, n),
+	}
+	for i, p := range profiles {
+		t.Names[i] = p.Name
+		res := core.RunSingle(cfg.Chip, p.NewStream(), rc)
+		t.SingleDroops[i] = res.DroopsPerKCycle(cfg.Margin)
+		t.SingleIPC[i] = res.IPC(0)
+	}
+	for i := range profiles {
+		t.Droops[i] = make([]float64, n)
+		t.IPC[i] = make([]float64, n)
+		t.Runs[i] = make([]resilient.RunData, n)
+		for j := range profiles {
+			res := core.RunPair(cfg.Chip, profiles[i].NewStream(), profiles[j].NewStream(), rc)
+			t.Droops[i][j] = res.DroopsPerKCycle(cfg.Margin)
+			t.IPC[i][j] = res.TotalIPC()
+			t.Runs[i][j] = resilient.FromScope(
+				fmt.Sprintf("%s+%s", profiles[i].Name, profiles[j].Name),
+				res.Cycles, res.Scope)
+		}
+	}
+	return t
+}
+
+// Size returns the number of benchmarks in the table.
+func (t *PairTable) Size() int { return len(t.Names) }
+
+// Index returns the table index of a benchmark name.
+func (t *PairTable) Index(name string) (int, error) {
+	for i, n := range t.Names {
+		if n == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("sched: benchmark %q not in table", name)
+}
+
+// SPECrateDroops returns the diagonal of the droop table: each benchmark
+// co-scheduled with another instance of itself (the paper's SPECrate
+// baseline, the triangular markers of Fig 17).
+func (t *PairTable) SPECrateDroops() []float64 {
+	out := make([]float64, t.Size())
+	for i := range out {
+		out[i] = t.Droops[i][i]
+	}
+	return out
+}
+
+// SPECrateIPC returns the diagonal of the IPC table.
+func (t *PairTable) SPECrateIPC() []float64 {
+	out := make([]float64, t.Size())
+	for i := range out {
+		out[i] = t.IPC[i][i]
+	}
+	return out
+}
+
+// RowStats is one Fig 17 boxplot element: how benchmark i's droop count
+// spreads across all possible co-runners.
+type RowStats struct {
+	Name     string
+	Box      stats.BoxplotStats
+	Single   float64 // single-core droops (circle marker)
+	SPECrate float64 // self-pair droops (triangle marker)
+}
+
+// CoScheduleSpread computes the Fig 17 boxplot rows. Droop counts for
+// benchmark i aggregate over both orientations (i on either core).
+func (t *PairTable) CoScheduleSpread() []RowStats {
+	out := make([]RowStats, t.Size())
+	for i := range out {
+		var vals []float64
+		for j := 0; j < t.Size(); j++ {
+			vals = append(vals, t.Droops[i][j])
+			if i != j {
+				vals = append(vals, t.Droops[j][i])
+			}
+		}
+		out[i] = RowStats{
+			Name:     t.Names[i],
+			Box:      stats.Boxplot(vals),
+			Single:   t.SingleDroops[i],
+			SPECrate: t.Droops[i][i],
+		}
+	}
+	return out
+}
+
+// HasDestructiveInterference reports whether any co-schedule of benchmark
+// i produces fewer droops than the SPECrate baseline — the Fig 17
+// observation that opens the door to noise-aware scheduling ("In over
+// half the co-schedules there is opportunity to perform better than the
+// baseline").
+func (t *PairTable) HasDestructiveInterference(i int) bool {
+	base := t.Droops[i][i]
+	for j := 0; j < t.Size(); j++ {
+		if t.Droops[i][j] < base || t.Droops[j][i] < base {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,206 @@
+package sense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleDeviationStats(t *testing.T) {
+	s := NewScope(1.0, nil)
+	s.Sample(1.0)  // 0%
+	s.Sample(0.95) // -5%
+	s.Sample(1.02) // +2%
+	if got := s.MinDroopPercent(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("MinDroopPercent = %g, want 5", got)
+	}
+	if got := s.MaxOvershootPercent(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("MaxOvershootPercent = %g, want 2", got)
+	}
+	if got := s.PeakToPeakPercent(); math.Abs(got-7) > 1e-9 {
+		t.Errorf("PeakToPeakPercent = %g, want 7", got)
+	}
+	if s.Samples() != 3 {
+		t.Errorf("Samples = %d", s.Samples())
+	}
+}
+
+func TestCrossingsCountEventsNotSamples(t *testing.T) {
+	s := NewScope(1.0, []float64{0.04})
+	// One long droop below -4%: many samples, one crossing.
+	s.Sample(1.0)
+	for i := 0; i < 10; i++ {
+		s.Sample(0.95)
+	}
+	s.Sample(1.0)
+	// A second, separate droop.
+	s.Sample(0.94)
+	s.Sample(1.0)
+	if got := s.Crossings(0.04); got != 2 {
+		t.Errorf("Crossings = %d, want 2", got)
+	}
+}
+
+func TestCrossingsExactlyAtThreshold(t *testing.T) {
+	s := NewScope(1.0, []float64{0.05})
+	s.Sample(0.95) // exactly -5%: not *below* the margin
+	if got := s.Crossings(0.05); got != 0 {
+		t.Errorf("sample at margin counted as crossing: %d", got)
+	}
+	s.Sample(0.9499)
+	if got := s.Crossings(0.05); got != 1 {
+		t.Errorf("Crossings = %d, want 1", got)
+	}
+}
+
+func TestDeeperMarginSeesFewerOffendingSamples(t *testing.T) {
+	// The per-*sample* statistic is monotone: a deeper margin can never
+	// have a larger fraction of samples beyond it. (The per-*event*
+	// crossing counts need not be monotone — a single long dip below -10%
+	// counts one -10% crossing but can contain many -5% oscillations —
+	// so that is deliberately not asserted here.)
+	s := NewScope(1.0, []float64{0.02, 0.05, 0.10})
+	rng := rand.New(rand.NewSource(3))
+	v := 1.0
+	for i := 0; i < 20000; i++ {
+		v += rng.NormFloat64() * 0.01
+		if v < 0.8 {
+			v = 0.8
+		}
+		if v > 1.2 {
+			v = 1.2
+		}
+		s.Sample(v)
+	}
+	f2, f5, f10 := s.FractionBeyond(0.02), s.FractionBeyond(0.05), s.FractionBeyond(0.10)
+	if f2 < f5 || f5 < f10 {
+		t.Errorf("sample fractions not monotone: %g, %g, %g", f2, f5, f10)
+	}
+	if s.Crossings(0.02) == 0 {
+		t.Error("random walk produced no 2% crossings; test is vacuous")
+	}
+}
+
+func TestCrossingsUnknownMarginPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewScope(1.0, []float64{0.04}).Crossings(0.05)
+}
+
+func TestFractionBeyond(t *testing.T) {
+	s := NewScope(1.0, nil)
+	for i := 0; i < 99; i++ {
+		s.Sample(1.0)
+	}
+	s.Sample(0.90) // -10%
+	got := s.FractionBeyond(0.04)
+	if math.Abs(got-0.01) > 1e-9 {
+		t.Errorf("FractionBeyond(4%%) = %g, want 0.01", got)
+	}
+}
+
+func TestCDFReachesOne(t *testing.T) {
+	s := NewScope(1.25, nil)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		s.Sample(1.25 * (1 + rng.NormFloat64()*0.01))
+	}
+	cdf := s.CDF()
+	if len(cdf) == 0 {
+		t.Fatal("empty CDF")
+	}
+	if last := cdf[len(cdf)-1].Frac; math.Abs(last-1) > 1e-9 {
+		t.Errorf("CDF tops out at %g", last)
+	}
+}
+
+func TestMergeAddsRunsLikeThePapersAggregate(t *testing.T) {
+	a := NewScope(1.0, []float64{0.04})
+	b := NewScope(1.0, []float64{0.04})
+	a.Sample(0.9)
+	a.Sample(1.0)
+	b.Sample(0.95)
+	b.Sample(0.9)
+	b.Sample(1.0)
+	ca, cb := a.Crossings(0.04), b.Crossings(0.04)
+	a.Merge(b)
+	if a.Samples() != 5 {
+		t.Errorf("merged samples = %d, want 5", a.Samples())
+	}
+	if got := a.Crossings(0.04); got != ca+cb {
+		t.Errorf("merged crossings = %d, want %d", got, ca+cb)
+	}
+	if math.Abs(a.MinDroopPercent()-10) > 1e-9 {
+		t.Errorf("merged MinDroop = %g, want 10", a.MinDroopPercent())
+	}
+}
+
+func TestMergeIncompatiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewScope(1.0, nil).Merge(NewScope(1.1, nil))
+}
+
+func TestReset(t *testing.T) {
+	s := NewScope(1.0, []float64{0.04})
+	s.Sample(0.9)
+	s.Reset()
+	if s.Samples() != 0 || s.Crossings(0.04) != 0 || s.MinDroopPercent() != 0 {
+		t.Error("Reset left state behind")
+	}
+	// The below-state must also reset: a fresh droop counts again.
+	s.Sample(0.9)
+	if s.Crossings(0.04) != 1 {
+		t.Error("crossing detection broken after Reset")
+	}
+}
+
+func TestBadConstructionPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewScope(0, nil) },
+		func() { NewScope(1, []float64{0}) },
+		func() { NewScope(1, []float64{1.5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: crossings counted by the scope match a brute-force recount
+// for arbitrary sample sequences.
+func TestCrossingsMatchBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		margin := 0.01 + rng.Float64()*0.1
+		s := NewScope(1.0, []float64{margin})
+		threshold := 1.0 * (1 - margin)
+		below := false
+		var want uint64
+		for i := 0; i < 500; i++ {
+			v := 1.0 + rng.NormFloat64()*0.05
+			s.Sample(v)
+			isBelow := v < threshold
+			if isBelow && !below {
+				want++
+			}
+			below = isBelow
+		}
+		return s.Crossings(margin) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if h.Total() != 10 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if got := h.Mean(); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Mean = %g", got)
+	}
+	if h.Min() != 0.5 || h.Max() != 9.5 {
+		t.Errorf("Min/Max = %g/%g", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramUnderOverflow(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(2)
+	h.Add(0.5)
+	if h.Total() != 3 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if got := h.FractionBelow(0); got != 1.0/3 {
+		t.Errorf("FractionBelow(0) = %g", got)
+	}
+	if got := h.FractionBelow(1.5); !almostEqual(got, 2.0/3, 1e-12) {
+		t.Errorf("FractionBelow(1.5) = %g", got)
+	}
+	if h.Min() != -5 || h.Max() != 2 {
+		t.Errorf("extremes not tracked exactly: %g/%g", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramFractionBelowAtBucketEdges(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) + 0.5)
+	}
+	for edge := 1; edge <= 10; edge++ {
+		want := float64(edge) / 10
+		if got := h.FractionBelow(float64(edge)); !almostEqual(got, want, 1e-12) {
+			t.Errorf("FractionBelow(%d) = %g, want %g", edge, got, want)
+		}
+	}
+}
+
+func TestHistogramCDFMonotone(t *testing.T) {
+	h := NewHistogram(-1, 1, 64)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10000; i++ {
+		h.Add(rng.NormFloat64() * 0.3)
+	}
+	cdf := h.CDF()
+	if len(cdf) == 0 {
+		t.Fatal("empty CDF")
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Frac < cdf[i-1].Frac || cdf[i].X < cdf[i-1].X {
+			t.Fatalf("CDF not monotone at %d: %+v -> %+v", i, cdf[i-1], cdf[i])
+		}
+	}
+	if last := cdf[len(cdf)-1].Frac; !almostEqual(last, 1, 1e-12) {
+		t.Errorf("CDF does not reach 1: %g", last)
+	}
+}
+
+func TestHistogramQuantileApproximatesExact(t *testing.T) {
+	h := NewHistogram(0, 1, 1000)
+	xs := make([]float64, 0, 5000)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		x := rng.Float64()
+		h.Add(x)
+		xs = append(xs, x)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		want := Percentile(xs, q*100)
+		if math.Abs(got-want) > 0.01 { // within ~10 bucket widths
+			t.Errorf("Quantile(%g) = %g, exact %g", q, got, want)
+		}
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Error("extreme quantiles should be exact min/max")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 10, 10)
+	b := NewHistogram(0, 10, 10)
+	for i := 0; i < 50; i++ {
+		a.Add(float64(i % 10))
+		b.Add(float64(i%10) + 0.25)
+	}
+	total := a.Total() + b.Total()
+	meanWant := (a.Mean()*float64(a.Total()) + b.Mean()*float64(b.Total())) / float64(total)
+	a.Merge(b)
+	if a.Total() != total {
+		t.Errorf("merged Total = %d, want %d", a.Total(), total)
+	}
+	if !almostEqual(a.Mean(), meanWant, 1e-12) {
+		t.Errorf("merged Mean = %g, want %g", a.Mean(), meanWant)
+	}
+}
+
+func TestHistogramMergeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(0, 1, 4).Merge(NewHistogram(0, 2, 4))
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(0.5)
+	h.Reset()
+	if h.Total() != 0 || h.Mean() != 0 {
+		t.Error("Reset did not clear state")
+	}
+	h.Add(0.25)
+	if h.Total() != 1 {
+		t.Error("histogram unusable after Reset")
+	}
+}
+
+// Property: FractionBelow agrees with brute-force counting at bucket edges
+// for arbitrary sample streams.
+func TestHistogramFractionBelowProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram(-2, 2, 40)
+		var samples []float64
+		n := 1 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			x := rng.NormFloat64()
+			h.Add(x)
+			samples = append(samples, x)
+		}
+		// Check at a few bucket edges.
+		for _, edge := range []float64{-2, -1, 0, 1, 2} {
+			var below int
+			for _, s := range samples {
+				if s < edge {
+					below++
+				}
+			}
+			want := float64(below) / float64(n)
+			if math.Abs(h.FractionBelow(edge)-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package technode models the technology-scaling projections behind the
+// paper's motivation (Figs 1 and 2): how peak-to-peak voltage swing grows
+// across process generations as the supply voltage scales down with a fixed
+// power budget, and how much peak clock frequency a voltage margin costs at
+// each node.
+//
+// Fig 1 in the paper comes from simulating a Pentium 4 power-delivery
+// package with a 50–100 A current stimulus whose magnitude scales inversely
+// with Vdd (constant power budget) while Vdd follows the ITRS roadmap from
+// 1 V at 45 nm to 0.6 V at 11 nm. We reproduce it with the internal/pdn
+// ladder and the same inverse-Vdd stimulus scaling.
+//
+// Fig 2 comes from circuit-level simulation of an 11-stage fanout-of-4 ring
+// oscillator across PTM nodes. We reproduce it with the standard alpha-power
+// law delay model, which is what such ring-oscillator simulations reduce to.
+package technode
+
+import (
+	"fmt"
+	"math"
+
+	"voltsmooth/internal/pdn"
+)
+
+// Node describes one process technology generation.
+type Node struct {
+	Name    string
+	Feature int     // nm
+	Vdd     float64 // ITRS nominal supply voltage (volts)
+}
+
+// Nodes lists the generations of Fig 1, 45 nm through 11 nm, with the
+// ITRS supply-voltage schedule the paper cites (1 V at 45 nm gradually
+// scaling to 0.6 V at 11 nm).
+func Nodes() []Node {
+	return []Node{
+		{"45nm", 45, 1.0},
+		{"32nm", 32, 0.9},
+		{"22nm", 22, 0.8},
+		{"16nm", 16, 0.7},
+		{"11nm", 11, 0.6},
+	}
+}
+
+// SwingProjection is one bar of Fig 1: the projected peak-to-peak voltage
+// swing of a node, normalized to the 45 nm baseline. Swings are compared
+// as fractions of each node's own supply voltage, which is what matters
+// for margins.
+type SwingProjection struct {
+	Node         Node
+	StimulusAmps float64 // current step magnitude used
+	SwingVolts   float64 // absolute peak-to-peak swing
+	SwingFrac    float64 // swing / Vdd
+	Relative     float64 // SwingFrac normalized to the 45 nm node
+}
+
+// ProjectionConfig parameterizes the Fig 1 reproduction.
+type ProjectionConfig struct {
+	Package  pdn.Params // power-delivery package (Vdd overridden per node)
+	BaseAmps float64    // stimulus magnitude at the 45 nm node
+	Duration float64    // transient length in seconds
+	Dt       float64
+}
+
+// DefaultProjectionConfig mirrors the paper's setup: a package model hit
+// with a 50 A-class step at 45 nm, scaled up at later nodes.
+func DefaultProjectionConfig() ProjectionConfig {
+	p := pdn.Core2Duo()
+	p.RippleAmp = 0
+	return ProjectionConfig{
+		Package:  p,
+		BaseAmps: 50,
+		Duration: 2e-6,
+		Dt:       25e-12,
+	}
+}
+
+// ProjectSwings runs the Fig 1 experiment: for every node, apply a current
+// step of BaseAmps·(Vdd45/Vdd) — the same power budget drawn at a lower
+// voltage — to the package and record the peak-to-peak swing as a fraction
+// of that node's supply.
+func ProjectSwings(cfg ProjectionConfig, nodes []Node) []SwingProjection {
+	if len(nodes) == 0 {
+		return nil
+	}
+	vdd0 := nodes[0].Vdd
+	out := make([]SwingProjection, 0, len(nodes))
+	for _, nd := range nodes {
+		p := cfg.Package
+		p.VNom = nd.Vdd
+		amps := cfg.BaseAmps * vdd0 / nd.Vdd
+		idle := amps * 0.15
+		n := pdn.NewAtLoad(p, idle)
+		src := pdn.StepSource(idle, amps-idle, cfg.Duration*0.25)
+		res := pdn.RunTransient(n, src, cfg.Duration, cfg.Dt, nil)
+		out = append(out, SwingProjection{
+			Node:         nd,
+			StimulusAmps: amps,
+			SwingVolts:   res.PeakToPeak,
+			SwingFrac:    res.PeakToPeak / nd.Vdd,
+		})
+	}
+	base := out[0].SwingFrac
+	for i := range out {
+		out[i].Relative = out[i].SwingFrac / base
+	}
+	return out
+}
+
+// RingOscillator is the alpha-power-law frequency model standing in for
+// the paper's 11-stage fanout-of-4 ring oscillator simulations (Fig 2):
+//
+//	f(V) ∝ (V - Vth)^Alpha / V
+//
+// Alpha captures velocity saturation (≈1.3–1.5 for modern nodes) and Vth
+// is the effective threshold voltage. Frequency falls super-linearly as V
+// approaches Vth, which is why margins hurt more at low-Vdd nodes.
+type RingOscillator struct {
+	Vth   float64
+	Alpha float64
+}
+
+// DefaultRingOscillator returns parameters tuned so that a 20% margin at
+// the 45 nm node (Vdd = 1 V) costs ≈25% of peak frequency, the paper's
+// headline calibration point for Fig 2.
+func DefaultRingOscillator() RingOscillator {
+	return RingOscillator{Vth: 0.32, Alpha: 1.4}
+}
+
+// Freq returns the oscillator frequency at supply voltage v in arbitrary
+// units (only ratios are meaningful). Below threshold the oscillator
+// stops: Freq returns 0.
+func (r RingOscillator) Freq(v float64) float64 {
+	if v <= r.Vth {
+		return 0
+	}
+	return math.Pow(v-r.Vth, r.Alpha) / v
+}
+
+// PeakFreqPercent returns the achievable clock frequency, as a percentage
+// of the zero-margin frequency, when the node must reserve a voltage
+// margin of marginFrac (e.g. 0.20 for a 20% guardband): the clock must be
+// set for the worst-case voltage Vdd·(1-marginFrac).
+func (r RingOscillator) PeakFreqPercent(vdd, marginFrac float64) float64 {
+	if marginFrac < 0 || marginFrac >= 1 {
+		panic(fmt.Sprintf("technode: marginFrac %g outside [0,1)", marginFrac))
+	}
+	f0 := r.Freq(vdd)
+	if f0 == 0 {
+		return 0
+	}
+	return 100 * r.Freq(vdd*(1-marginFrac)) / f0
+}
+
+// MarginCurve is one line of Fig 2: peak frequency (%) as a function of
+// margin (%) for a node.
+type MarginCurve struct {
+	Node     Node
+	MarginPc []float64 // margin in percent of Vdd
+	FreqPc   []float64 // peak frequency in percent of the unmargined clock
+}
+
+// MarginFrequencyCurves reproduces Fig 2 for the given nodes: margins are
+// swept from 0 to maxMarginPc percent in steps of stepPc.
+func MarginFrequencyCurves(r RingOscillator, nodes []Node, maxMarginPc, stepPc float64) []MarginCurve {
+	out := make([]MarginCurve, 0, len(nodes))
+	for _, nd := range nodes {
+		var mc MarginCurve
+		mc.Node = nd
+		for m := 0.0; m <= maxMarginPc+1e-9; m += stepPc {
+			mc.MarginPc = append(mc.MarginPc, m)
+			mc.FreqPc = append(mc.FreqPc, r.PeakFreqPercent(nd.Vdd, m/100))
+		}
+		out = append(out, mc)
+	}
+	return out
+}

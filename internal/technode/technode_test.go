@@ -1,0 +1,145 @@
+package technode
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodesSchedule(t *testing.T) {
+	ns := Nodes()
+	if len(ns) != 5 {
+		t.Fatalf("want 5 nodes, got %d", len(ns))
+	}
+	if ns[0].Vdd != 1.0 || ns[len(ns)-1].Vdd != 0.6 {
+		t.Errorf("ITRS endpoints wrong: %g … %g", ns[0].Vdd, ns[len(ns)-1].Vdd)
+	}
+	for i := 1; i < len(ns); i++ {
+		if ns[i].Vdd >= ns[i-1].Vdd || ns[i].Feature >= ns[i-1].Feature {
+			t.Errorf("nodes not strictly scaling at %d", i)
+		}
+	}
+}
+
+func TestProjectSwingsFig1Shape(t *testing.T) {
+	// Fig 1: swings grow monotonically, roughly doubling by 16 nm and
+	// approaching ~2.8x at 11 nm relative to 45 nm.
+	proj := ProjectSwings(DefaultProjectionConfig(), Nodes())
+	if len(proj) != 5 {
+		t.Fatalf("want 5 projections, got %d", len(proj))
+	}
+	if math.Abs(proj[0].Relative-1) > 1e-12 {
+		t.Errorf("45nm relative = %g, want 1", proj[0].Relative)
+	}
+	for i := 1; i < len(proj); i++ {
+		if proj[i].Relative <= proj[i-1].Relative {
+			t.Errorf("swing not increasing at %s: %.3f <= %.3f",
+				proj[i].Node.Name, proj[i].Relative, proj[i-1].Relative)
+		}
+	}
+	at16 := proj[3].Relative
+	if at16 < 1.6 || at16 > 2.6 {
+		t.Errorf("16nm relative swing = %.2f, want ≈2 (paper: doubles by 16nm)", at16)
+	}
+	at11 := proj[4].Relative
+	if at11 < 2.0 || at11 > 3.6 {
+		t.Errorf("11nm relative swing = %.2f, want ≈2.8", at11)
+	}
+}
+
+func TestProjectSwingsStimulusScaling(t *testing.T) {
+	proj := ProjectSwings(DefaultProjectionConfig(), Nodes())
+	// Current stimulus scales inversely with Vdd for a constant power budget.
+	for _, p := range proj {
+		want := 50 * 1.0 / p.Node.Vdd
+		if math.Abs(p.StimulusAmps-want) > 1e-9 {
+			t.Errorf("%s stimulus = %g A, want %g", p.Node.Name, p.StimulusAmps, want)
+		}
+	}
+}
+
+func TestRingOscillatorCalibration(t *testing.T) {
+	// The paper's headline Fig 2 number: a 20% margin at 45 nm (1 V)
+	// costs about 25% of peak frequency.
+	r := DefaultRingOscillator()
+	got := r.PeakFreqPercent(1.0, 0.20)
+	if got < 72 || got > 80 {
+		t.Errorf("freq at 20%% margin = %.1f%%, want ≈75%% (paper: ~25%% loss)", got)
+	}
+}
+
+func TestRingOscillatorLowVddHurtsMore(t *testing.T) {
+	// "A doubling in voltage swing by 16nm implies more than 50% loss in
+	// peak clock frequency, owing to increasing circuit sensitivity at
+	// lower voltages."
+	r := DefaultRingOscillator()
+	at45 := r.PeakFreqPercent(1.0, 0.20)
+	at16 := r.PeakFreqPercent(0.7, 0.40) // doubled swing ⇒ doubled margin
+	if at16 >= 50 {
+		t.Errorf("16nm at doubled margin keeps %.1f%% of frequency, want < 50%%", at16)
+	}
+	if at16 >= at45 {
+		t.Error("low-Vdd node should lose more frequency for the same story")
+	}
+	// And at equal margin, the lower-Vdd node must be hit harder.
+	for _, m := range []float64{0.05, 0.10, 0.20, 0.30} {
+		hi := r.PeakFreqPercent(1.0, m)
+		lo := r.PeakFreqPercent(0.7, m)
+		if lo >= hi {
+			t.Errorf("margin %.0f%%: 0.7V node keeps %.1f%% >= 1.0V node's %.1f%%",
+				m*100, lo, hi)
+		}
+	}
+}
+
+func TestRingOscillatorStopsBelowThreshold(t *testing.T) {
+	r := DefaultRingOscillator()
+	if f := r.Freq(r.Vth); f != 0 {
+		t.Errorf("Freq(Vth) = %g, want 0", f)
+	}
+	if f := r.Freq(r.Vth - 0.1); f != 0 {
+		t.Errorf("Freq below threshold = %g, want 0", f)
+	}
+}
+
+func TestPeakFreqPercentPanicsOnBadMargin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for margin >= 1")
+		}
+	}()
+	DefaultRingOscillator().PeakFreqPercent(1.0, 1.0)
+}
+
+func TestFreqMonotoneInVoltageProperty(t *testing.T) {
+	r := DefaultRingOscillator()
+	f := func(seed int64) bool {
+		// Two voltages above threshold; higher voltage ⇒ higher frequency.
+		a := r.Vth + 0.01 + float64(uint64(seed)%1000)/1000.0
+		b := a + 0.05
+		return r.Freq(b) > r.Freq(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarginFrequencyCurves(t *testing.T) {
+	curves := MarginFrequencyCurves(DefaultRingOscillator(), Nodes()[:4], 50, 10)
+	if len(curves) != 4 {
+		t.Fatalf("want 4 curves, got %d", len(curves))
+	}
+	for _, c := range curves {
+		if len(c.MarginPc) != 6 { // 0,10,...,50
+			t.Fatalf("%s: %d points, want 6", c.Node.Name, len(c.MarginPc))
+		}
+		if c.FreqPc[0] != 100 {
+			t.Errorf("%s: zero margin should give 100%%, got %g", c.Node.Name, c.FreqPc[0])
+		}
+		for i := 1; i < len(c.FreqPc); i++ {
+			if c.FreqPc[i] >= c.FreqPc[i-1] && c.FreqPc[i] != 0 {
+				t.Errorf("%s: frequency not decreasing with margin at %d", c.Node.Name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package uarch
+
+import (
+	"testing"
+
+	"voltsmooth/internal/workload"
+)
+
+// l2MissRate runs the given pair and returns core 0's L2 misses per
+// retired instruction.
+func l2MissRate(t *testing.T, cfg Config, a, b workload.Stream, cycles int) float64 {
+	t.Helper()
+	chip := NewChip(cfg)
+	chip.SetStream(0, a)
+	if b != nil {
+		chip.SetStream(1, b)
+	}
+	for i := 0; i < cycles; i++ {
+		chip.Cycle()
+	}
+	ctr := chip.Counters(0)
+	if ctr.Instructions == 0 {
+		t.Fatal("core 0 retired nothing")
+	}
+	return float64(ctr.L2Misses) / float64(ctr.Instructions)
+}
+
+func memStream(t *testing.T, name string) workload.Stream {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.NewStream()
+}
+
+func TestContentionUpgradesL2Hits(t *testing.T) {
+	// A memory-bound co-runner must push some of mcf's L2 hits out to
+	// memory; a quiet co-runner must not.
+	cfg := DefaultConfig()
+	alone := l2MissRate(t, cfg, memStream(t, "mcf"), nil, 150000)
+	vsQuiet := l2MissRate(t, cfg, memStream(t, "mcf"), memStream(t, "namd"), 150000)
+	vsNoisy := l2MissRate(t, cfg, memStream(t, "mcf"), memStream(t, "lbm"), 150000)
+
+	if vsNoisy < alone*1.15 {
+		t.Errorf("lbm co-runner raised mcf's miss rate only %.4f -> %.4f; want >15%%",
+			alone, vsNoisy)
+	}
+	if vsQuiet > alone*1.10 {
+		t.Errorf("quiet namd co-runner raised mcf's miss rate %.4f -> %.4f; want ~unchanged",
+			alone, vsQuiet)
+	}
+	if vsNoisy <= vsQuiet {
+		t.Errorf("contention not ordered by co-runner traffic: %.4f vs %.4f", vsNoisy, vsQuiet)
+	}
+}
+
+func TestContentionDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L2ContentionFactor = 0
+	alone := l2MissRate(t, cfg, memStream(t, "mcf"), nil, 100000)
+	paired := l2MissRate(t, cfg, memStream(t, "mcf"), memStream(t, "lbm"), 100000)
+	// With contention off, the miss rate is stream-determined and the
+	// co-runner cannot change it (identical stream, identical outcomes).
+	if alone != paired {
+		t.Errorf("contention disabled but miss rate moved: %.5f vs %.5f", alone, paired)
+	}
+}
+
+func TestContentionCutsPairThroughput(t *testing.T) {
+	// SPECrate of a memory-bound program must lose throughput to cache
+	// contention relative to twice its single-core IPC; a compute-bound
+	// program must not.
+	cfg := DefaultConfig()
+	run := func(a, b workload.Stream) float64 {
+		chip := NewChip(cfg)
+		chip.SetStream(0, a)
+		if b != nil {
+			chip.SetStream(1, b)
+		}
+		for i := 0; i < 150000; i++ {
+			chip.Cycle()
+		}
+		return chip.Counters(0).IPC() + chip.Counters(1).IPC()
+	}
+	mcfSolo := run(memStream(t, "mcf"), nil)
+	mcfRate := run(memStream(t, "mcf"), memStream(t, "mcf"))
+	if mcfRate > 1.85*mcfSolo {
+		t.Errorf("mcf SPECrate %.3f shows no contention vs 2x solo %.3f", mcfRate, 2*mcfSolo)
+	}
+	namdSolo := run(memStream(t, "namd"), nil)
+	namdRate := run(memStream(t, "namd"), memStream(t, "namd"))
+	if namdRate < 1.9*namdSolo {
+		t.Errorf("namd SPECrate %.3f lost throughput without cache pressure (2x solo %.3f)",
+			namdRate, 2*namdSolo)
+	}
+}
+
+func TestContentionDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a := l2MissRate(t, cfg, memStream(t, "mcf"), memStream(t, "lbm"), 80000)
+	b := l2MissRate(t, cfg, memStream(t, "mcf"), memStream(t, "lbm"), 80000)
+	if a != b {
+		t.Errorf("contention outcomes not deterministic: %.6f vs %.6f", a, b)
+	}
+}
+
+func TestTrapContentionRaisesPairCurrent(t *testing.T) {
+	// Two cores trap-refilling simultaneously must draw more than twice
+	// the single-core increment over idle — the shared microcode path
+	// contention behind Fig 13's EXCPxEXCP maximum.
+	cfg := DefaultConfig()
+	maxCurrent := func(a, b workload.Stream) float64 {
+		chip := NewChip(cfg)
+		if a != nil {
+			chip.SetStream(0, a)
+		}
+		if b != nil {
+			chip.SetStream(1, b)
+		}
+		peak := 0.0
+		for i := 0; i < 60000; i++ {
+			chip.Cycle()
+			if c := chip.TotalCurrent(); c > peak {
+				peak = c
+			}
+		}
+		return peak
+	}
+	idle := maxCurrent(nil, nil)
+	single := maxCurrent(workload.Microbenchmark(workload.EventEXCP), nil)
+	pair := maxCurrent(workload.Microbenchmark(workload.EventEXCP),
+		workload.Microbenchmark(workload.EventEXCP))
+	if pair-idle <= 2*(single-idle) {
+		t.Errorf("pair peak increment %.1f A not above 2x single %.1f A (trap contention)",
+			pair-idle, 2*(single-idle))
+	}
+}
+
+func TestValidateRejectsBadContention(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L2ContentionFactor = 1.5
+	if cfg.Validate() == nil {
+		t.Error("accepted contention factor > 1")
+	}
+	cfg.L2ContentionFactor = -0.1
+	if cfg.Validate() == nil {
+		t.Error("accepted negative contention factor")
+	}
+}
+
+func TestEventResponseSurgeValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RespExcp.Surge = -1
+	if cfg.Validate() == nil {
+		t.Error("accepted negative surge")
+	}
+}

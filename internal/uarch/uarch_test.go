@@ -1,0 +1,234 @@
+package uarch
+
+import (
+	"math"
+	"testing"
+
+	"voltsmooth/internal/workload"
+)
+
+func runCycles(c *Chip, n int) {
+	for i := 0; i < n; i++ {
+		c.Cycle()
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := DefaultConfig()
+	bad.NumCores = 0
+	if bad.Validate() == nil {
+		t.Error("accepted 0 cores")
+	}
+	bad = DefaultConfig()
+	bad.Current.RampAlpha = 0
+	if bad.Validate() == nil {
+		t.Error("accepted zero RampAlpha")
+	}
+	bad = DefaultConfig()
+	bad.RespMem.Latency = -1
+	if bad.Validate() == nil {
+		t.Error("accepted negative latency")
+	}
+	bad = DefaultConfig()
+	bad.RespTLB.Gate = 1.5
+	if bad.Validate() == nil {
+		t.Error("accepted gate > 1")
+	}
+	bad = DefaultConfig()
+	bad.Current.IdleAmps = 1
+	bad.Current.GatedAmps = 2
+	if bad.Validate() == nil {
+		t.Error("accepted idle < gated current")
+	}
+}
+
+func TestIdleChipCurrentAndVoltage(t *testing.T) {
+	c := NewChip(DefaultConfig())
+	runCycles(c, 20000)
+	cm := DefaultConfig().Current
+	wantIdle := cm.UncoreAmps + 2*cm.IdleAmps
+	if math.Abs(c.TotalCurrent()-wantIdle) > 1.0 {
+		t.Errorf("idle current = %.2f A, want ≈ %.2f", c.TotalCurrent(), wantIdle)
+	}
+	vnom := c.Config().PDN.VNom
+	if math.Abs(c.Voltage()-vnom) > 0.02*vnom {
+		t.Errorf("idle voltage = %.4f, want near %.4f", c.Voltage(), vnom)
+	}
+}
+
+func TestPowerVirusDrawsFarMoreThanIdle(t *testing.T) {
+	cfg := DefaultConfig()
+	idle := NewChip(cfg)
+	runCycles(idle, 5000)
+
+	busy := NewChip(cfg)
+	busy.SetStream(0, workload.PowerVirus())
+	busy.SetStream(1, workload.PowerVirus())
+	runCycles(busy, 5000)
+
+	if busy.TotalCurrent() < 2.5*idle.TotalCurrent() {
+		t.Errorf("virus current %.1f A not ≫ idle %.1f A",
+			busy.TotalCurrent(), idle.TotalCurrent())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, float64) {
+		c := NewChip(DefaultConfig())
+		p, _ := workload.ByName("gcc")
+		q, _ := workload.ByName("mcf")
+		c.SetStream(0, p.NewStream())
+		c.SetStream(1, q.NewStream())
+		runCycles(c, 50000)
+		return c.Counters(0).Instructions, c.Voltage()
+	}
+	i1, v1 := run()
+	i2, v2 := run()
+	if i1 != i2 || v1 != v2 {
+		t.Errorf("non-deterministic: (%d,%.9f) vs (%d,%.9f)", i1, v1, i2, v2)
+	}
+}
+
+func TestIPCBounds(t *testing.T) {
+	c := NewChip(DefaultConfig())
+	c.SetStream(0, workload.PowerVirus())
+	runCycles(c, 20000)
+	ipc := c.Counters(0).IPC()
+	if ipc < 3.0 || ipc > 4.0 {
+		t.Errorf("power virus IPC = %.2f, want near issue width 4", ipc)
+	}
+
+	c2 := NewChip(DefaultConfig())
+	p, _ := workload.ByName("mcf")
+	c2.SetStream(0, p.NewStream())
+	runCycles(c2, 200000)
+	mcfIPC := c2.Counters(0).IPC()
+	if mcfIPC >= 1.0 || mcfIPC <= 0.01 {
+		t.Errorf("mcf IPC = %.3f, want memory-bound (0.01–1.0)", mcfIPC)
+	}
+}
+
+func TestStallRatioOrdering(t *testing.T) {
+	// The memory-bound programs must be much stallier than the
+	// compute-bound ones — the heterogeneity axis of Fig 15.
+	stall := func(name string) float64 {
+		c := NewChip(DefaultConfig())
+		p, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetStream(0, p.NewStream())
+		runCycles(c, 200000)
+		return c.Counters(0).StallRatio()
+	}
+	mcf, namd, hmmer, lbm := stall("mcf"), stall("namd"), stall("hmmer"), stall("lbm")
+	if mcf < 2*namd {
+		t.Errorf("mcf stall ratio %.3f not ≫ namd %.3f", mcf, namd)
+	}
+	if lbm < 2*hmmer {
+		t.Errorf("lbm stall ratio %.3f not ≫ hmmer %.3f", lbm, hmmer)
+	}
+	if mcf < 0.5 {
+		t.Errorf("mcf stall ratio %.3f, want > 0.5", mcf)
+	}
+	if namd > 0.35 {
+		t.Errorf("namd stall ratio %.3f, want < 0.35", namd)
+	}
+}
+
+func TestEventCountersTrackStream(t *testing.T) {
+	c := NewChip(DefaultConfig())
+	c.SetStream(0, workload.MicrobenchmarkWithPeriod(workload.EventBR, 50))
+	runCycles(c, 50000)
+	ctr := c.Counters(0)
+	if ctr.BranchMisp == 0 {
+		t.Fatal("no mispredicts recorded")
+	}
+	// One mispredict per 50 instructions.
+	perInstr := float64(ctr.BranchMisp) / float64(ctr.Instructions)
+	if math.Abs(perInstr-0.02) > 0.002 {
+		t.Errorf("mispredict rate per instr = %.4f, want 0.02", perInstr)
+	}
+	if ctr.L1Misses != 0 || ctr.Exceptions != 0 {
+		t.Error("BR microbenchmark should produce only branch events")
+	}
+}
+
+func TestStallEventsGateAndSurgeCurrent(t *testing.T) {
+	// An L2-miss microbenchmark must swing current: the gated minimum
+	// during stalls has to be far below the issuing maximum.
+	cfg := DefaultConfig()
+	c := NewChip(cfg)
+	c.SetStream(0, workload.MicrobenchmarkWithPeriod(workload.EventL2, 300))
+	runCycles(c, 5000) // warm up
+	minI, maxI := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 20000; i++ {
+		c.Cycle()
+		if cur := c.TotalCurrent(); cur < minI {
+			minI = cur
+		} else if cur > maxI {
+			maxI = cur
+		}
+	}
+	if maxI-minI < 0.3*cfg.Current.ActiveAmps {
+		t.Errorf("current swing %.2f A too small (min %.2f, max %.2f)", maxI-minI, minI, maxI)
+	}
+}
+
+func TestVoltageStaysPhysical(t *testing.T) {
+	c := NewChip(DefaultConfig())
+	p, _ := workload.ByName("sphinx")
+	q, _ := workload.ByName("lbm")
+	c.SetStream(0, p.NewStream())
+	c.SetStream(1, q.NewStream())
+	vnom := c.Config().PDN.VNom
+	for i := 0; i < 100000; i++ {
+		v := c.Cycle()
+		if math.IsNaN(v) || v < 0.7*vnom || v > 1.3*vnom {
+			t.Fatalf("voltage %.4f out of physical range at cycle %d", v, i)
+		}
+	}
+}
+
+func TestSetStreamNilParksCore(t *testing.T) {
+	c := NewChip(DefaultConfig())
+	c.SetStream(0, workload.PowerVirus())
+	runCycles(c, 2000)
+	high := c.TotalCurrent()
+	c.SetStream(0, nil)
+	runCycles(c, 5000)
+	if c.TotalCurrent() >= high-3 {
+		t.Errorf("parking the core left current at %.1f A (was %.1f)", c.TotalCurrent(), high)
+	}
+}
+
+func TestSetStreamOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewChip(DefaultConfig()).SetStream(7, workload.Idle())
+}
+
+func TestCountersPerCoreIndependent(t *testing.T) {
+	c := NewChip(DefaultConfig())
+	c.SetStream(0, workload.PowerVirus())
+	// core 1 stays idle
+	runCycles(c, 10000)
+	if c.Counters(0).Instructions == 0 {
+		t.Error("core 0 retired nothing")
+	}
+	if c.Counters(1).Instructions != 0 {
+		t.Errorf("idle core retired %d instructions", c.Counters(1).Instructions)
+	}
+	if c.Counters(1).Cycles != c.Counters(0).Cycles {
+		t.Error("cores should count the same cycles")
+	}
+}

@@ -1,0 +1,177 @@
+package workload
+
+import "fmt"
+
+// EventKind names the five stall-event microbenchmarks of Sec III-C.
+type EventKind uint8
+
+const (
+	// EventL1 is a load that misses the L1 data cache but hits the L2.
+	EventL1 EventKind = iota
+	// EventL2 is a load that misses the whole cache hierarchy.
+	EventL2
+	// EventTLB is a load whose translation misses the D-TLB.
+	EventTLB
+	// EventBR is a mispredicted branch (pipeline flush).
+	EventBR
+	// EventEXCP is an instruction that raises an exception microtrap.
+	EventEXCP
+)
+
+// EventKinds lists the microbenchmark events in the paper's Fig 12/13
+// order.
+func EventKinds() []EventKind {
+	return []EventKind{EventL1, EventL2, EventTLB, EventBR, EventEXCP}
+}
+
+// String returns the paper's label for the event.
+func (e EventKind) String() string {
+	switch e {
+	case EventL1:
+		return "L1"
+	case EventL2:
+		return "L2"
+	case EventTLB:
+		return "TLB"
+	case EventBR:
+		return "BR"
+	case EventEXCP:
+		return "EXCP"
+	default:
+		return "?"
+	}
+}
+
+// microStream is a hand-crafted microbenchmark: a tight loop of filler ALU
+// work with exactly one stall event per period, "so that activity recurs
+// long enough to measure its effect on core voltage" (Sec III-C).
+type microStream struct {
+	kind   EventKind
+	period int
+	n      int
+}
+
+// Microbenchmark returns the stall microbenchmark for the given event with
+// its default loop period (see DefaultEventPeriod).
+func Microbenchmark(kind EventKind) Stream {
+	return MicrobenchmarkWithPeriod(kind, DefaultEventPeriod(kind))
+}
+
+// MicrobenchmarkWithPeriod returns a microbenchmark that triggers one
+// event every period instructions. period must be at least 2.
+func MicrobenchmarkWithPeriod(kind EventKind, period int) Stream {
+	if period < 2 {
+		panic(fmt.Sprintf("workload: microbenchmark period %d < 2", period))
+	}
+	return &microStream{kind: kind, period: period}
+}
+
+// DefaultEventPeriod returns the loop length, in instructions, that the
+// hand-crafted microbenchmark uses for each event kind. Shorter periods
+// put the recurring current ramp closer to the package resonance band;
+// the defaults are tuned so the relative swings land near Fig 12
+// (branch mispredictions largest, ~1.7x the idle baseline).
+func DefaultEventPeriod(kind EventKind) int {
+	switch kind {
+	case EventL1:
+		return 28
+	case EventL2:
+		return 220
+	case EventTLB:
+		return 80
+	case EventBR:
+		return 33
+	case EventEXCP:
+		return 240
+	default:
+		return 64
+	}
+}
+
+func (m *microStream) Name() string { return "micro-" + m.kind.String() }
+
+func (m *microStream) Next() Instr {
+	m.n++
+	if m.n%m.period != 0 {
+		return Instr{Class: ClassALU}
+	}
+	switch m.kind {
+	case EventL1:
+		return Instr{Class: ClassLoad, Mem: MemL2}
+	case EventL2:
+		return Instr{Class: ClassLoad, Mem: MemMain}
+	case EventTLB:
+		return Instr{Class: ClassLoad, Mem: MemL1, TLBMiss: true}
+	case EventBR:
+		return Instr{Class: ClassBranch, Mispredict: true}
+	case EventEXCP:
+		return Instr{Class: ClassALU, Exception: true}
+	default:
+		return Instr{Class: ClassALU}
+	}
+}
+
+// idleStream is the operating system's idle loop: the core is halted and
+// draws only gated background current. This is the measurement baseline
+// for Figs 12 and 13 ("relative to an idling OS").
+type idleStream struct{}
+
+// Idle returns the idle-loop stream.
+func Idle() Stream { return idleStream{} }
+
+func (idleStream) Name() string { return "idle" }
+func (idleStream) Next() Instr  { return Instr{Class: ClassIdle} }
+
+// virusStream is the CPUBurn-style power virus (Sec II-C): it saturates
+// the execution units with independent ALU/FPU work that never misses,
+// drawing maximal sustained current.
+type virusStream struct{ n int }
+
+// PowerVirus returns the CPUBurn stand-in.
+func PowerVirus() Stream { return &virusStream{} }
+
+func (v *virusStream) Name() string { return "powervirus" }
+
+func (v *virusStream) Next() Instr {
+	v.n++
+	if v.n%3 == 0 {
+		return Instr{Class: ClassFPU}
+	}
+	return Instr{Class: ClassALU}
+}
+
+// resonantStream is a dI/dt virus: bursts of maximal activity separated by
+// idle stretches, producing a square-wave current draw. With the period
+// tuned to the package resonance this produces the deepest droops any
+// software can cause, which is how the worst-case operating margin is
+// determined (Sec II-C undervolts the chip under "multiple copies of the
+// power virus" until it fails).
+type resonantStream struct {
+	burst, gap int
+	n          int
+}
+
+// ResonantVirus returns a dI/dt virus that alternates burst instructions
+// of dense work with gap idle instructions.
+func ResonantVirus(burst, gap int) Stream {
+	if burst < 1 || gap < 1 {
+		panic("workload: ResonantVirus needs burst and gap >= 1")
+	}
+	return &resonantStream{burst: burst, gap: gap}
+}
+
+func (r *resonantStream) Name() string {
+	return fmt.Sprintf("resonant-virus-%d-%d", r.burst, r.gap)
+}
+
+func (r *resonantStream) Next() Instr {
+	i := r.n % (r.burst + r.gap)
+	r.n++
+	if i < r.burst {
+		if i%3 == 1 {
+			return Instr{Class: ClassFPU}
+		}
+		return Instr{Class: ClassALU}
+	}
+	return Instr{Class: ClassIdle}
+}

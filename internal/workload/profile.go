@@ -1,0 +1,154 @@
+package workload
+
+import "fmt"
+
+// Phase modulates a profile's stall behaviour for a stretch of execution.
+// The paper observes that programs move through recurring voltage-noise
+// phases driven by changing microarchitectural stall activity (Fig 14);
+// a Phase scales the profile's stall-producing event rates accordingly.
+type Phase struct {
+	// Instructions is the phase length in instructions.
+	Instructions int64
+	// StallScale multiplies the L2/TLB miss and branch-misprediction
+	// rates during the phase. 1.0 leaves the profile unchanged; >1 makes
+	// the program stallier (noisier), <1 smoother.
+	StallScale float64
+}
+
+// Profile is the statistical description of one benchmark program.
+type Profile struct {
+	Name string
+	Seed int64
+
+	// Instruction mix; the five fractions must sum to 1.
+	MixALU, MixFPU, MixLoad, MixStore, MixBranch float64
+
+	// Memory behaviour. L1MissRate is the fraction of loads/stores that
+	// miss L1; L2MissRate is the fraction of those that also miss L2.
+	// TLBMissRate is per memory access.
+	L1MissRate, L2MissRate, TLBMissRate float64
+
+	// BranchMispRate is per branch; ExcpRate is per instruction.
+	BranchMispRate, ExcpRate float64
+
+	// Phases is the program's phase schedule, executed cyclically.
+	// An empty schedule means one flat phase (StallScale 1).
+	Phases []Phase
+}
+
+// Validate reports an error if the profile is not a sane distribution.
+func (p Profile) Validate() error {
+	sum := p.MixALU + p.MixFPU + p.MixLoad + p.MixStore + p.MixBranch
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("workload: %s instruction mix sums to %g, want 1", p.Name, sum)
+	}
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"L1MissRate", p.L1MissRate}, {"L2MissRate", p.L2MissRate},
+		{"TLBMissRate", p.TLBMissRate}, {"BranchMispRate", p.BranchMispRate},
+		{"ExcpRate", p.ExcpRate},
+	}
+	for _, r := range rates {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("workload: %s %s = %g outside [0,1]", p.Name, r.name, r.v)
+		}
+	}
+	for i, ph := range p.Phases {
+		if ph.Instructions <= 0 {
+			return fmt.Errorf("workload: %s phase %d has non-positive length", p.Name, i)
+		}
+		if ph.StallScale < 0 {
+			return fmt.Errorf("workload: %s phase %d has negative StallScale", p.Name, i)
+		}
+	}
+	return nil
+}
+
+// NewStream returns the deterministic instruction stream for the profile.
+func (p Profile) NewStream() Stream {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	s := &profileStream{p: p, rng: newRNG(p.Seed)}
+	if len(p.Phases) == 0 {
+		s.scale = 1
+		s.phaseLeft = 1 << 62
+	} else {
+		s.scale = p.Phases[0].StallScale
+		s.phaseLeft = p.Phases[0].Instructions
+	}
+	return s
+}
+
+type profileStream struct {
+	p         Profile
+	rng       rng
+	phaseIdx  int
+	phaseLeft int64
+	scale     float64
+}
+
+func (s *profileStream) Name() string { return s.p.Name }
+
+// clampProb keeps scaled event probabilities meaningful.
+func clampProb(p float64) float64 {
+	if p > 0.95 {
+		return 0.95
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+func (s *profileStream) Next() Instr {
+	if s.phaseLeft <= 0 {
+		s.phaseIdx = (s.phaseIdx + 1) % len(s.p.Phases)
+		ph := s.p.Phases[s.phaseIdx]
+		s.scale = ph.StallScale
+		s.phaseLeft = ph.Instructions
+	}
+	s.phaseLeft--
+
+	p := &s.p
+	var in Instr
+	r := s.rng.float64()
+	switch {
+	case r < p.MixALU:
+		in.Class = ClassALU
+	case r < p.MixALU+p.MixFPU:
+		in.Class = ClassFPU
+	case r < p.MixALU+p.MixFPU+p.MixLoad:
+		in.Class = ClassLoad
+	case r < p.MixALU+p.MixFPU+p.MixLoad+p.MixStore:
+		in.Class = ClassStore
+	default:
+		in.Class = ClassBranch
+	}
+
+	switch in.Class {
+	case ClassLoad, ClassStore:
+		in.Mem = MemL1
+		q := s.rng.float64()
+		l1m := clampProb(p.L1MissRate * s.scale)
+		if q < l1m {
+			in.Mem = MemL2
+			if s.rng.float64() < clampProb(p.L2MissRate*s.scale) {
+				in.Mem = MemMain
+			}
+		}
+		if s.rng.float64() < clampProb(p.TLBMissRate*s.scale) {
+			in.TLBMiss = true
+		}
+	case ClassBranch:
+		if s.rng.float64() < clampProb(p.BranchMispRate*s.scale) {
+			in.Mispredict = true
+		}
+	}
+	if p.ExcpRate > 0 && s.rng.float64() < clampProb(p.ExcpRate*s.scale) {
+		in.Exception = true
+	}
+	return in
+}

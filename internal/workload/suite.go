@@ -1,0 +1,152 @@
+package workload
+
+import "fmt"
+
+// The benchmark suite tables. Each entry is a synthetic stand-in for the
+// corresponding SPEC CPU2006 or PARSEC program, specified in terms of the
+// quantities that matter for voltage noise: events per kilo-instruction
+// (PKI). A *deep* miss (L2 miss to memory) drains the pipeline and creates
+// a large dI/dt edge; an L2 hit barely gates; branch mispredictions flush.
+// Deep-miss spacing is deliberately tens-to-hundreds of instructions so
+// the core ramps to full activity between stalls — it is the collapse
+// from full activity and the refill surge that swing current, which is
+// why droop counts track the stall ratio in the paper's Fig 15.
+//
+// The table is tuned to reproduce the *qualitative* structure the paper
+// reports:
+//
+//   - a heterogeneous spread of stall ratios and droop counts (Fig 15),
+//     with memory-bound programs (mcf, lbm, libquantum, milc…) at the
+//     noisy end and compute-bound FP programs (namd, povray, hmmer…) quiet,
+//   - per-program phase structure (Fig 14): 482.sphinx flat, 416.gamess
+//     four coarse phases, 465.tonto fast strong oscillation,
+//   - 473.astar roughly flat (its Fig 16 single-core profile is flat),
+//   - libquantum extremely regular (the Fig 17 outlier with almost no
+//     co-scheduling spread).
+//
+// Seeds are fixed per benchmark so every experiment sees the same program.
+
+// mkProfile converts PKI-space event rates into the per-op probabilities
+// Profile carries. mix is {ALU, FPU, Load, Store, Branch}.
+func mkProfile(name string, seed int64, mix [5]float64, l2hitPKI, deepPKI, tlbPKI, brMispRate float64, phases []Phase) Profile {
+	memFrac := mix[2] + mix[3]
+	if memFrac <= 0 {
+		panic(fmt.Sprintf("workload: %s has no memory operations", name))
+	}
+	l1miss := (l2hitPKI + deepPKI) / 1000 / memFrac
+	l2miss := 0.0
+	if l2hitPKI+deepPKI > 0 {
+		l2miss = deepPKI / (l2hitPKI + deepPKI)
+	}
+	return Profile{
+		Name: name, Seed: seed,
+		MixALU: mix[0], MixFPU: mix[1], MixLoad: mix[2], MixStore: mix[3], MixBranch: mix[4],
+		L1MissRate: l1miss, L2MissRate: l2miss,
+		TLBMissRate:    tlbPKI / 1000 / memFrac,
+		BranchMispRate: brMispRate,
+		ExcpRate:       1e-6,
+		Phases:         phases,
+	}
+}
+
+func spec2006() []Profile {
+	k := func(n int64) int64 { return 0xC2D06 + n*7919 }
+	return []Profile{
+		// name, mix{alu,fpu,load,store,branch}, L2hitPKI, deepPKI, tlbPKI, brMisp
+		// astar's window-averaged noise profile is comparatively flat
+		// (Fig 16b) because each measurement window spans a full
+		// quiet/noisy phase pair; the fast alternation is what the
+		// Fig 16 sliding-window convolution exposes: co-scheduled droops
+		// amplify when two instances' noisy phases align and stay at the
+		// single-core level when they interleave.
+		mkProfile("astar", k(0), [5]float64{0.38, 0.02, 0.30, 0.10, 0.20}, 15, 3.0, 0.4, 0.020,
+			[]Phase{{150_000, 0.5}, {150_000, 1.3}}),
+		mkProfile("bwaves", k(1), [5]float64{0.20, 0.40, 0.28, 0.08, 0.04}, 25, 7.0, 0.3, 0.010,
+			[]Phase{{600_000, 1.0}, {400_000, 0.7}}),
+		mkProfile("bzip2", k(2), [5]float64{0.45, 0.00, 0.27, 0.13, 0.15}, 14, 2.5, 0.2, 0.018,
+			[]Phase{{500_000, 1.25}, {500_000, 0.6}}),
+		mkProfile("cactusadm", k(3), [5]float64{0.18, 0.42, 0.28, 0.10, 0.02}, 22, 6.0, 0.4, 0.010, nil),
+		mkProfile("calculix", k(4), [5]float64{0.25, 0.45, 0.20, 0.06, 0.04}, 6, 0.5, 0.1, 0.015, nil),
+		mkProfile("dealii", k(5), [5]float64{0.30, 0.30, 0.25, 0.08, 0.07}, 10, 2.0, 0.2, 0.010, nil),
+		// Four coarse phases (Fig 14b): droop activity alternates between
+		// a quiet and a noisy level.
+		mkProfile("gamess", k(6), [5]float64{0.28, 0.45, 0.18, 0.05, 0.04}, 8, 1.2, 0.1, 0.008,
+			[]Phase{{700_000, 0.45}, {700_000, 1.0}, {700_000, 0.5}, {700_000, 1.05}}),
+		mkProfile("gcc", k(7), [5]float64{0.42, 0.01, 0.26, 0.12, 0.19}, 18, 3.0, 0.5, 0.018,
+			[]Phase{{400_000, 1.0}, {300_000, 1.4}, {500_000, 0.7}}),
+		mkProfile("gemsfdtd", k(8), [5]float64{0.18, 0.40, 0.30, 0.09, 0.03}, 30, 9.0, 0.4, 0.010, nil),
+		mkProfile("gobmk", k(9), [5]float64{0.44, 0.01, 0.24, 0.11, 0.20}, 8, 1.0, 0.2, 0.010, nil),
+		mkProfile("gromacs", k(10), [5]float64{0.30, 0.42, 0.20, 0.05, 0.03}, 7, 0.6, 0.1, 0.015, nil),
+		mkProfile("h264ref", k(11), [5]float64{0.46, 0.05, 0.28, 0.12, 0.09}, 8, 1.0, 0.15, 0.012,
+			[]Phase{{600_000, 1.0}, {600_000, 1.5}}),
+		mkProfile("hmmer", k(12), [5]float64{0.52, 0.02, 0.30, 0.10, 0.06}, 5, 0.3, 0.05, 0.008, nil),
+		mkProfile("lbm", k(13), [5]float64{0.16, 0.38, 0.30, 0.14, 0.02}, 30, 14.0, 0.6, 0.010, nil),
+		mkProfile("leslie3d", k(14), [5]float64{0.20, 0.40, 0.28, 0.09, 0.03}, 28, 8.0, 0.4, 0.010, nil),
+		// Pure streaming: a steady stream of memory misses in a perfectly
+		// regular pattern — the Fig 17 outlier.
+		mkProfile("libquantum", k(15), [5]float64{0.30, 0.02, 0.40, 0.20, 0.08}, 20, 16.0, 0.5, 0.005, nil),
+		mkProfile("mcf", k(16), [5]float64{0.30, 0.00, 0.38, 0.10, 0.22}, 40, 12.0, 2.0, 0.025, nil),
+		mkProfile("milc", k(17), [5]float64{0.20, 0.36, 0.30, 0.12, 0.02}, 25, 10.0, 0.5, 0.010, nil),
+		mkProfile("namd", k(18), [5]float64{0.28, 0.48, 0.18, 0.04, 0.02}, 4, 0.3, 0.05, 0.010, nil),
+		mkProfile("omnetpp", k(19), [5]float64{0.36, 0.01, 0.30, 0.13, 0.20}, 28, 7.0, 1.5, 0.020,
+			[]Phase{{800_000, 1.0}, {500_000, 0.7}}),
+		mkProfile("perlbench", k(20), [5]float64{0.42, 0.00, 0.28, 0.12, 0.18}, 10, 1.5, 0.4, 0.015,
+			[]Phase{{400_000, 1.0}, {400_000, 1.35}, {400_000, 0.75}}),
+		mkProfile("povray", k(21), [5]float64{0.32, 0.40, 0.18, 0.05, 0.05}, 4, 0.4, 0.05, 0.008, nil),
+		mkProfile("sjeng", k(22), [5]float64{0.45, 0.00, 0.22, 0.10, 0.23}, 8, 1.0, 0.3, 0.010, nil),
+		mkProfile("soplex", k(23), [5]float64{0.30, 0.20, 0.30, 0.08, 0.12}, 25, 6.0, 0.8, 0.015, nil),
+		// Flat, persistently noisy profile (Fig 14a: stable and high, no
+		// phases).
+		mkProfile("sphinx", k(24), [5]float64{0.30, 0.28, 0.28, 0.06, 0.08}, 25, 7.0, 0.4, 0.025, nil),
+		// Strong fast oscillation between quiet and noisy (Fig 14c).
+		mkProfile("tonto", k(25), [5]float64{0.26, 0.42, 0.22, 0.06, 0.04}, 10, 2.5, 0.2, 0.010,
+			[]Phase{
+				{180_000, 0.5}, {180_000, 1.15}, {180_000, 0.55}, {180_000, 1.1},
+				{180_000, 0.5}, {180_000, 1.2}, {180_000, 0.6}, {180_000, 1.15},
+			}),
+		mkProfile("wrf", k(26), [5]float64{0.24, 0.38, 0.26, 0.08, 0.04}, 15, 3.5, 0.3, 0.015,
+			[]Phase{{900_000, 1.0}, {600_000, 0.7}}),
+		mkProfile("xalan", k(27), [5]float64{0.40, 0.00, 0.30, 0.10, 0.20}, 20, 4.0, 1.0, 0.015, nil),
+		mkProfile("zeusmp", k(28), [5]float64{0.22, 0.40, 0.26, 0.09, 0.03}, 18, 4.0, 0.4, 0.015, nil),
+	}
+}
+
+func parsec() []Profile {
+	k := func(n int64) int64 { return 0x9A45EC + n*104729 }
+	return []Profile{
+		mkProfile("blackscholes", k(0), [5]float64{0.25, 0.48, 0.18, 0.05, 0.04}, 4, 0.3, 0.05, 0.010, nil),
+		mkProfile("bodytrack", k(1), [5]float64{0.34, 0.25, 0.25, 0.08, 0.08}, 9, 1.5, 0.2, 0.012, nil),
+		mkProfile("canneal", k(2), [5]float64{0.34, 0.02, 0.36, 0.10, 0.18}, 35, 10.0, 2.0, 0.020, nil),
+		mkProfile("dedup", k(3), [5]float64{0.40, 0.00, 0.30, 0.15, 0.15}, 16, 3.0, 0.6, 0.015, nil),
+		mkProfile("facesim", k(4), [5]float64{0.22, 0.42, 0.26, 0.07, 0.03}, 14, 3.0, 0.3, 0.015, nil),
+		mkProfile("ferret", k(5), [5]float64{0.35, 0.18, 0.28, 0.08, 0.11}, 18, 4.0, 0.5, 0.012, nil),
+		mkProfile("fluidanimate", k(6), [5]float64{0.24, 0.40, 0.25, 0.08, 0.03}, 10, 2.0, 0.2, 0.015, nil),
+		mkProfile("freqmine", k(7), [5]float64{0.42, 0.01, 0.30, 0.09, 0.18}, 15, 3.0, 0.5, 0.015, nil),
+		mkProfile("streamcluster", k(8), [5]float64{0.26, 0.28, 0.32, 0.08, 0.06}, 30, 9.0, 0.5, 0.010, nil),
+		mkProfile("swaptions", k(9), [5]float64{0.28, 0.44, 0.20, 0.05, 0.03}, 4, 0.3, 0.05, 0.010, nil),
+		mkProfile("vips", k(10), [5]float64{0.36, 0.20, 0.26, 0.09, 0.09}, 11, 2.0, 0.3, 0.010, nil),
+	}
+}
+
+// SPEC2006 returns the 29 single-threaded benchmark profiles in the order
+// of the paper's Fig 15 x-axis.
+func SPEC2006() []Profile { return spec2006() }
+
+// Parsec returns the 11 multi-threaded benchmark profiles used in the
+// paper's multi-threaded characterization runs.
+func Parsec() []Profile { return parsec() }
+
+// ByName returns the profile with the given name from either suite.
+func ByName(name string) (Profile, error) {
+	for _, p := range spec2006() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	for _, p := range parsec() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}

@@ -1,0 +1,112 @@
+// Package workload generates the deterministic synthetic instruction
+// streams that stand in for the paper's benchmark programs. The paper
+// drives a physical Core 2 Duo with SPEC CPU2006 (29 programs), PARSEC
+// (11 programs), hand-crafted stall microbenchmarks, and the CPUBurn power
+// virus; none of those binaries can execute here, so each is replaced by a
+// stream with the same *statistical shape*: instruction mix, cache/TLB
+// miss rates, branch misprediction rate, exception rate, and — crucially
+// for the scheduling study — a per-program phase schedule that modulates
+// stall behaviour over time (Sec IV-A's voltage-noise phases).
+//
+// Streams are pure functions of their seed: the same workload always
+// produces the same instruction sequence, which is what makes the oracle
+// scheduling experiments reproducible.
+package workload
+
+// Class is the architectural class of a generated instruction.
+type Class uint8
+
+const (
+	// ClassALU is simple integer work (1-cycle latency).
+	ClassALU Class = iota
+	// ClassFPU is floating-point work (multi-cycle latency).
+	ClassFPU
+	// ClassLoad reads memory through the L1/L2/TLB hierarchy.
+	ClassLoad
+	// ClassStore writes memory.
+	ClassStore
+	// ClassBranch may redirect fetch; mispredictions flush the pipeline.
+	ClassBranch
+	// ClassIdle is a halted cycle: the OS idle loop. Cores executing idle
+	// instructions clock-gate almost everything and draw minimal current.
+	ClassIdle
+)
+
+// String returns the mnemonic for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassALU:
+		return "alu"
+	case ClassFPU:
+		return "fpu"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassIdle:
+		return "idle"
+	default:
+		return "unknown"
+	}
+}
+
+// MemLevel records where a memory instruction's access is satisfied.
+type MemLevel uint8
+
+const (
+	// MemNone: not a memory access.
+	MemNone MemLevel = iota
+	// MemL1: hits in the L1 data cache.
+	MemL1
+	// MemL2: misses L1, hits the shared L2.
+	MemL2
+	// MemMain: misses the whole cache hierarchy.
+	MemMain
+)
+
+// Instr is one generated instruction. The stream pre-resolves all
+// microarchitectural outcomes (hit levels, mispredictions, faults) so the
+// pipeline model stays simple and deterministic.
+type Instr struct {
+	Class      Class
+	Mem        MemLevel // for loads/stores
+	TLBMiss    bool     // the access also misses the D-TLB
+	Mispredict bool     // for branches
+	Exception  bool     // raises a microtrap (EXCP microbenchmark)
+}
+
+// Stream produces an unbounded deterministic instruction sequence.
+// Implementations must be cheap: Next sits on the simulator's hot path.
+type Stream interface {
+	// Next returns the next instruction of the program.
+	Next() Instr
+	// Name identifies the workload (benchmark name or microbenchmark id).
+	Name() string
+}
+
+// rng is a small deterministic PRNG (xorshift64*), used instead of
+// math/rand to keep stream generation allocation-free, fast, and stable
+// across Go releases.
+type rng struct{ s uint64 }
+
+func newRNG(seed int64) rng {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	return rng{s: s}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

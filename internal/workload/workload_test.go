@@ -1,0 +1,298 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSuiteSizes(t *testing.T) {
+	if n := len(SPEC2006()); n != 29 {
+		t.Errorf("SPEC2006 has %d profiles, want 29", n)
+	}
+	if n := len(Parsec()); n != 11 {
+		t.Errorf("Parsec has %d profiles, want 11", n)
+	}
+}
+
+func TestAllProfilesValid(t *testing.T) {
+	for _, p := range append(SPEC2006(), Parsec()...) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestUniqueNamesAndSeeds(t *testing.T) {
+	names := map[string]bool{}
+	seeds := map[int64]bool{}
+	for _, p := range append(SPEC2006(), Parsec()...) {
+		if names[p.Name] {
+			t.Errorf("duplicate name %s", p.Name)
+		}
+		if seeds[p.Seed] {
+			t.Errorf("duplicate seed for %s", p.Name)
+		}
+		names[p.Name] = true
+		seeds[p.Seed] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("sphinx")
+	if err != nil || p.Name != "sphinx" {
+		t.Errorf("ByName(sphinx) = %v, %v", p.Name, err)
+	}
+	p, err = ByName("canneal")
+	if err != nil || p.Name != "canneal" {
+		t.Errorf("ByName(canneal) = %v, %v", p.Name, err)
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Error("ByName accepted an unknown benchmark")
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	p, _ := ByName("mcf")
+	a, b := p.NewStream(), p.NewStream()
+	for i := 0; i < 10000; i++ {
+		ia, ib := a.Next(), b.Next()
+		if ia != ib {
+			t.Fatalf("streams diverge at instruction %d: %+v vs %+v", i, ia, ib)
+		}
+	}
+}
+
+func TestStreamMixConverges(t *testing.T) {
+	p, _ := ByName("gcc")
+	s := p.NewStream()
+	const n = 200000
+	var counts [6]int
+	loads, l1miss, l2miss := 0, 0, 0
+	branches, misp := 0, 0
+	for i := 0; i < n; i++ {
+		in := s.Next()
+		counts[in.Class]++
+		if in.Class == ClassLoad || in.Class == ClassStore {
+			loads++
+			if in.Mem == MemL2 || in.Mem == MemMain {
+				l1miss++
+			}
+			if in.Mem == MemMain {
+				l2miss++
+			}
+		}
+		if in.Class == ClassBranch {
+			branches++
+			if in.Mispredict {
+				misp++
+			}
+		}
+	}
+	tol := 0.02
+	if f := float64(counts[ClassALU]) / n; math.Abs(f-p.MixALU) > tol {
+		t.Errorf("ALU fraction %.3f, want %.3f", f, p.MixALU)
+	}
+	if f := float64(counts[ClassBranch]) / n; math.Abs(f-p.MixBranch) > tol {
+		t.Errorf("branch fraction %.3f, want %.3f", f, p.MixBranch)
+	}
+	// gcc has phases with scales 1.0/1.4/0.7 over 1.2M instructions; over
+	// 200k we see only the first (scale 1.0) phase, so raw rates apply.
+	if f := float64(l1miss) / float64(loads); math.Abs(f-p.L1MissRate) > 0.02 {
+		t.Errorf("L1 miss rate %.4f, want %.4f", f, p.L1MissRate)
+	}
+	if f := float64(misp) / float64(branches); math.Abs(f-p.BranchMispRate) > 0.02 {
+		t.Errorf("mispredict rate %.4f, want %.4f", f, p.BranchMispRate)
+	}
+	_ = l2miss
+}
+
+func TestPhasesModulateStallEvents(t *testing.T) {
+	// gamess alternates 0.45/1.0 stall scaling every 700k instructions;
+	// the L2-miss rate must visibly differ between the first two phases.
+	p, _ := ByName("gamess")
+	s := p.NewStream()
+	missRate := func(n int) float64 {
+		misses, mem := 0, 0
+		for i := 0; i < n; i++ {
+			in := s.Next()
+			if in.Class == ClassLoad || in.Class == ClassStore {
+				mem++
+				if in.Mem == MemL2 || in.Mem == MemMain {
+					misses++
+				}
+			}
+		}
+		return float64(misses) / float64(mem)
+	}
+	phase0 := missRate(700_000)
+	phase1 := missRate(700_000)
+	if phase1 <= phase0*1.5 {
+		t.Errorf("phase modulation too weak: phase0 miss rate %.4f, phase1 %.4f", phase0, phase1)
+	}
+}
+
+func TestPhaseScheduleCycles(t *testing.T) {
+	p := Profile{
+		Name: "twophase", Seed: 1,
+		MixALU: 0.5, MixLoad: 0.5,
+		L1MissRate: 0.5, L2MissRate: 0,
+		Phases: []Phase{{1000, 0.0}, {1000, 1.0}},
+	}
+	s := p.NewStream()
+	// Phase 0 (scale 0): no L1 misses at all; phase 1: ~50% of loads miss.
+	countMisses := func(n int) int {
+		m := 0
+		for i := 0; i < n; i++ {
+			if in := s.Next(); in.Mem == MemL2 || in.Mem == MemMain {
+				m++
+			}
+		}
+		return m
+	}
+	if m := countMisses(1000); m != 0 {
+		t.Errorf("phase 0 produced %d misses, want 0", m)
+	}
+	if m := countMisses(1000); m == 0 {
+		t.Error("phase 1 produced no misses")
+	}
+	// Cycle back to phase 0.
+	if m := countMisses(1000); m != 0 {
+		t.Errorf("cycled phase 0 produced %d misses, want 0", m)
+	}
+}
+
+func TestMicrobenchmarkPeriodicity(t *testing.T) {
+	for _, kind := range EventKinds() {
+		s := MicrobenchmarkWithPeriod(kind, 10)
+		events := 0
+		for i := 0; i < 1000; i++ {
+			in := s.Next()
+			isEvent := in.Mem == MemL2 || in.Mem == MemMain || in.TLBMiss ||
+				in.Mispredict || in.Exception
+			if isEvent {
+				events++
+				if (i+1)%10 != 0 {
+					t.Errorf("%v: event at instruction %d, want multiples of 10", kind, i+1)
+				}
+			}
+		}
+		if events != 100 {
+			t.Errorf("%v: %d events in 1000 instrs at period 10, want 100", kind, events)
+		}
+	}
+}
+
+func TestMicrobenchmarkEventTypes(t *testing.T) {
+	check := func(kind EventKind, pred func(Instr) bool) {
+		s := MicrobenchmarkWithPeriod(kind, 2)
+		for i := 0; i < 10; i++ {
+			s.Next() // filler
+			if ev := s.Next(); !pred(ev) {
+				t.Errorf("%v: wrong event instruction %+v", kind, ev)
+			}
+		}
+	}
+	check(EventL1, func(i Instr) bool { return i.Class == ClassLoad && i.Mem == MemL2 })
+	check(EventL2, func(i Instr) bool { return i.Class == ClassLoad && i.Mem == MemMain })
+	check(EventTLB, func(i Instr) bool { return i.Class == ClassLoad && i.TLBMiss })
+	check(EventBR, func(i Instr) bool { return i.Class == ClassBranch && i.Mispredict })
+	check(EventEXCP, func(i Instr) bool { return i.Exception })
+}
+
+func TestMicrobenchmarkPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MicrobenchmarkWithPeriod(EventBR, 1)
+}
+
+func TestIdleStream(t *testing.T) {
+	s := Idle()
+	for i := 0; i < 100; i++ {
+		if in := s.Next(); in.Class != ClassIdle {
+			t.Fatalf("idle stream emitted %v", in.Class)
+		}
+	}
+}
+
+func TestPowerVirusNeverStalls(t *testing.T) {
+	s := PowerVirus()
+	for i := 0; i < 10000; i++ {
+		in := s.Next()
+		if in.Class != ClassALU && in.Class != ClassFPU {
+			t.Fatalf("power virus emitted %v", in.Class)
+		}
+		if in.Mem != MemNone || in.TLBMiss || in.Mispredict || in.Exception {
+			t.Fatalf("power virus emitted a stall event: %+v", in)
+		}
+	}
+}
+
+func TestResonantVirusDutyCycle(t *testing.T) {
+	s := ResonantVirus(8, 8)
+	active, idle := 0, 0
+	for i := 0; i < 1600; i++ {
+		if in := s.Next(); in.Class == ClassIdle {
+			idle++
+		} else {
+			active++
+		}
+	}
+	if active != 800 || idle != 800 {
+		t.Errorf("duty cycle %d/%d, want 800/800", active, idle)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	want := []string{"L1", "L2", "TLB", "BR", "EXCP"}
+	for i, k := range EventKinds() {
+		if k.String() != want[i] {
+			t.Errorf("EventKind %d = %q, want %q", i, k.String(), want[i])
+		}
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bad := Profile{Name: "bad", MixALU: 0.5} // mix sums to 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("unnormalized mix accepted")
+	}
+	bad = Profile{Name: "bad", MixALU: 1, L1MissRate: 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("miss rate > 1 accepted")
+	}
+	bad = Profile{Name: "bad", MixALU: 1, Phases: []Phase{{0, 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-length phase accepted")
+	}
+}
+
+// Property: every generated instruction is internally consistent (memory
+// levels only on memory ops, mispredicts only on branches).
+func TestStreamConsistencyProperty(t *testing.T) {
+	profiles := append(SPEC2006(), Parsec()...)
+	f := func(seed int64) bool {
+		p := profiles[int(uint64(seed)%uint64(len(profiles)))]
+		s := p.NewStream()
+		for i := 0; i < 2000; i++ {
+			in := s.Next()
+			isMem := in.Class == ClassLoad || in.Class == ClassStore
+			if !isMem && (in.Mem != MemNone || in.TLBMiss) {
+				return false
+			}
+			if isMem && in.Mem == MemNone {
+				return false
+			}
+			if in.Mispredict && in.Class != ClassBranch {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
