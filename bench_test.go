@@ -8,6 +8,8 @@ package voltsmooth
 // reported time is the cost of regenerating that figure's analysis.
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -71,20 +73,47 @@ func BenchmarkFig18PolicyScatter(b *testing.B)      { benchExperiment(b, "fig18"
 func BenchmarkFig19PassingIncrease(b *testing.B)    { benchExperiment(b, "fig19") }
 func BenchmarkTab1PassingAnalysis(b *testing.B)     { benchExperiment(b, "tab1") }
 
+// sweepWorkerCounts are the fan-out widths the sweep benchmarks compare.
+// workers=1 is the serial baseline; comparing its ns/op against the wider
+// rows is the measured speedup of the parallel sweep engine on this
+// machine (the sweeps are embarrassingly parallel, so it should track the
+// core count until memory bandwidth intervenes).
+func sweepWorkerCounts() []int {
+	counts := []int{1}
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		if w > counts[len(counts)-1] {
+			counts = append(counts, w)
+		}
+	}
+	return counts
+}
+
 // BenchmarkCorpusBuild times construction of one decap variant's full run
-// corpus (the pre-run measurement phase shared by Figs 7–10 and Tab I).
+// corpus (the pre-run measurement phase shared by Figs 7–10 and Tab I)
+// at each sweep width.
 func BenchmarkCorpusBuild(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		s := experiments.NewSession(experiments.Tiny())
-		s.Corpus(pdn.Proc100)
+	for _, w := range sweepWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := experiments.NewSession(experiments.Tiny())
+				s.Workers = w
+				s.Corpus(pdn.Proc100)
+			}
+		})
 	}
 }
 
-// BenchmarkPairTableBuild times construction of the scheduling oracle.
+// BenchmarkPairTableBuild times construction of the scheduling oracle at
+// each sweep width.
 func BenchmarkPairTableBuild(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		s := experiments.NewSession(experiments.Tiny())
-		s.PairTable(pdn.Proc3)
+	for _, w := range sweepWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := experiments.NewSession(experiments.Tiny())
+				s.Workers = w
+				s.PairTable(pdn.Proc3)
+			}
+		})
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"voltsmooth/internal/experiments"
@@ -23,6 +24,8 @@ import (
 
 func main() {
 	scaleName := flag.String("scale", "quick", "experiment scale: tiny|quick|full")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"measurement-sweep fan-out (goroutines); 1 runs the serial path, results are identical at any width")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -40,7 +43,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "vsmooth: run needs at least one experiment id (or `all`)")
 			os.Exit(2)
 		}
-		if err := run(*scaleName, args[1:]); err != nil {
+		if err := run(*scaleName, *workers, args[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, "vsmooth:", err)
 			os.Exit(1)
 		}
@@ -52,11 +55,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: vsmooth [-scale tiny|quick|full] <command>
+	fmt.Fprintf(os.Stderr, `usage: vsmooth [-scale tiny|quick|full] [-workers N] <command>
 
 commands:
   list                list all experiments
   run <id>... | all   regenerate the given figures/tables
+
+-workers N fans the pre-run measurement sweeps (corpus, oracle pair
+table, random batches) out over N goroutines; every run is seeded and
+independent, so output is identical at any N. -workers 1 is serial.
 `)
 }
 
@@ -66,7 +73,7 @@ func list() {
 	}
 }
 
-func run(scaleName string, ids []string) error {
+func run(scaleName string, workers int, ids []string) error {
 	scale, err := experiments.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -87,6 +94,7 @@ func run(scaleName string, ids []string) error {
 	}
 
 	session := experiments.NewSession(scale)
+	session.Workers = workers
 	for _, e := range entries {
 		start := time.Now()
 		result := e.Run(session)

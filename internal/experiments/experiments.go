@@ -66,11 +66,20 @@ func lessID(a, b string) bool {
 	return na < nb
 }
 
+// splitID splits an experiment id into its alphabetic prefix and numeric
+// suffix. An id with no numeric suffix reports num = -1, ordering it
+// before every numbered id that shares its prefix ("ext" < "ext1") rather
+// than aliasing with a "0" suffix.
 func splitID(s string) (prefix string, num int) {
 	i := 0
 	for i < len(s) && (s[i] < '0' || s[i] > '9') {
 		i++
 	}
-	fmt.Sscanf(s[i:], "%d", &num)
+	if i == len(s) {
+		return s, -1
+	}
+	if _, err := fmt.Sscanf(s[i:], "%d", &num); err != nil {
+		return s, -1
+	}
 	return s[:i], num
 }

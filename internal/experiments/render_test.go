@@ -91,12 +91,25 @@ func TestLessIDOrdering(t *testing.T) {
 		{"fig1", "fig2", true},
 		{"fig2", "fig10", true}, // numeric, not lexicographic
 		{"fig19", "tab1", true},
+		{"fig10", "tab1", true},
 		{"ext1", "fig1", true},
 		{"tab1", "fig1", false},
+		{"ext", "ext1", true}, // digit-free before numbered, same prefix
+		{"ext1", "ext", false},
+		{"alpha", "beta", true}, // two digit-free ids order by prefix
+		{"fig2", "fig2", false}, // irreflexive
 	}
 	for _, c := range cases {
 		if got := lessID(c.a, c.b); got != c.want {
 			t.Errorf("lessID(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
 		}
+	}
+	// splitID must flag the no-digit case explicitly rather than aliasing
+	// it with a "0" suffix.
+	if prefix, num := splitID("tab"); prefix != "tab" || num != -1 {
+		t.Errorf("splitID(tab) = (%q, %d), want (tab, -1)", prefix, num)
+	}
+	if prefix, num := splitID("fig19"); prefix != "fig" || num != 19 {
+		t.Errorf("splitID(fig19) = (%q, %d)", prefix, num)
 	}
 }

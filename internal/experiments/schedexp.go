@@ -144,14 +144,17 @@ func Fig18(s *Session) *Fig18Result {
 		r.Hybrid = append(r.Hybrid,
 			sched.EvaluateBatch(t, sched.BuildBatch(t, sched.HybridPolicy{N: n}, cfg)))
 	}
-	for _, b := range sched.RandomBatches(t, cfg, s.Scale.RandomBatches, 0x5EED) {
-		r.Random = append(r.Random, sched.EvaluateBatch(t, b))
-	}
+	r.Random = sched.RandomEvals(t, cfg, s.Scale.RandomBatches, 0x5EED, s.Workers)
 	return r
 }
 
-// RandomCentroid returns the mean coordinates of the random control group.
+// RandomCentroid returns the mean coordinates of the random control
+// group. With no random batches (Scale.RandomBatches = 0) it returns the
+// SPECrate origin (1, 1) instead of dividing by zero.
 func (r *Fig18Result) RandomCentroid() (droops, perf float64) {
+	if len(r.Random) == 0 {
+		return 1, 1
+	}
 	for _, e := range r.Random {
 		droops += e.Droops
 		perf += e.Perf
@@ -176,15 +179,19 @@ func (r *Fig18Result) Render() string {
 	for _, h := range r.Hybrid {
 		t.AddRow(h.Policy, f2(h.Droops), f2(h.Perf))
 	}
-	cd, cp := r.RandomCentroid()
-	t.AddRow(fmt.Sprintf("Random x%d (centroid)", len(r.Random)), f2(cd), f2(cp))
-	var dmin, dmax, pmin, pmax float64 = 1e9, -1e9, 1e9, -1e9
-	for _, e := range r.Random {
-		dmin, dmax = min2(dmin, e.Droops), max2(dmax, e.Droops)
-		pmin, pmax = min2(pmin, e.Perf), max2(pmax, e.Perf)
+	if len(r.Random) > 0 {
+		cd, cp := r.RandomCentroid()
+		t.AddRow(fmt.Sprintf("Random x%d (centroid)", len(r.Random)), f2(cd), f2(cp))
+		var dmin, dmax, pmin, pmax float64 = 1e9, -1e9, 1e9, -1e9
+		for _, e := range r.Random {
+			dmin, dmax = min2(dmin, e.Droops), max2(dmax, e.Droops)
+			pmin, pmax = min2(pmin, e.Perf), max2(pmax, e.Perf)
+		}
+		t.AddRow("Random spread (droops)", f2(dmin)+"-"+f2(dmax), "")
+		t.AddRow("Random spread (perf)", "", f2(pmin)+"-"+f2(pmax))
+	} else {
+		t.Notes = append(t.Notes, "no random control group at this scale (RandomBatches = 0)")
 	}
-	t.AddRow("Random spread (droops)", f2(dmin)+"-"+f2(dmax), "")
-	t.AddRow("Random spread (perf)", "", f2(pmin)+"-"+f2(pmax))
 	return Tables{t}.Render()
 }
 
@@ -215,8 +222,14 @@ func runFig19(s *Session) Renderer { return Tab1Fig19(s) }
 
 // Tab1Fig19 runs the passing analysis on the Proc3 oracle, using the
 // Proc3 corpus as the expectation-setting population (the paper's 881
-// workloads).
+// workloads). The result is memoized on the session alongside the corpora
+// and tables: tab1 and fig19 are two renderings of one analysis, so
+// `vsmooth run all` computes it once.
 func Tab1Fig19(s *Session) *Tab1Fig19Result {
+	return s.passing.Do(schedVariant.Name, func() *Tab1Fig19Result { return tab1Fig19(s) })
+}
+
+func tab1Fig19(s *Session) *Tab1Fig19Result {
 	t := s.PairTable(schedVariant)
 	corpus := s.Corpus(schedVariant)
 	cfg := sched.PassConfig{

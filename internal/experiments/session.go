@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"fmt"
+
 	"voltsmooth/internal/core"
+	"voltsmooth/internal/parallel"
 	"voltsmooth/internal/pdn"
 	"voltsmooth/internal/resilient"
 	"voltsmooth/internal/sched"
@@ -11,22 +14,30 @@ import (
 )
 
 // Session caches the expensive shared measurements (run corpora, oracle
-// pair tables) across experiments, mirroring the paper's structure: the
-// 881-run corpus feeds Figs 7–10 and Tab I, and the 29×29 oracle table
-// feeds Figs 16–19.
+// pair tables, the Tab I / Fig 19 passing analysis) across experiments,
+// mirroring the paper's structure: the 881-run corpus feeds Figs 7–10 and
+// Tab I, and the 29×29 oracle table feeds Figs 16–19.
+//
+// A Session is safe for concurrent use: each cache is a per-key
+// singleflight, so independent experiments running on separate goroutines
+// share one build of each corpus and table.
 type Session struct {
-	Scale   Scale
-	corpora map[string]*Corpus
-	tables  map[string]*sched.PairTable
+	Scale Scale
+	// Workers bounds the fan-out of every measurement sweep the session
+	// runs (corpus construction, oracle tables, random-batch evaluation).
+	// Every run is an independent, deterministically seeded simulation,
+	// so results are bit-identical at any width. <= 0 means
+	// parallel.DefaultWorkers(); 1 restores the serial path.
+	Workers int
+
+	corpora parallel.Group[string, *Corpus]
+	tables  parallel.Group[string, *sched.PairTable]
+	passing parallel.Group[string, *Tab1Fig19Result]
 }
 
 // NewSession creates a session at the given scale.
 func NewSession(s Scale) *Session {
-	return &Session{
-		Scale:   s,
-		corpora: map[string]*Corpus{},
-		tables:  map[string]*sched.PairTable{},
-	}
+	return &Session{Scale: s}
 }
 
 // ChipConfig returns the chip configuration for a decap variant.
@@ -53,7 +64,11 @@ func (s *Session) SpecProfiles() []workload.Profile {
 	}
 	out := make([]workload.Profile, 0, s.Scale.SpecSubset)
 	for _, name := range quickSubsetOrder[:s.Scale.SpecSubset] {
-		out = append(out, byName[name])
+		p, ok := byName[name]
+		if !ok {
+			panic(fmt.Sprintf("experiments: quickSubsetOrder entry %q is not in workload.SPEC2006()", name))
+		}
+		out = append(out, p)
 	}
 	return out
 }
@@ -74,35 +89,44 @@ type Corpus struct {
 
 // Corpus builds (or returns the cached) corpus for a variant.
 func (s *Session) Corpus(v pdn.ProcVariant) *Corpus {
-	if c, ok := s.corpora[v.Name]; ok {
-		return c
-	}
-	c := s.buildCorpus(v)
-	s.corpora[v.Name] = c
-	return c
+	return s.corpora.Do(v.Name, func() *Corpus { return s.buildCorpus(v) })
 }
 
-func (s *Session) buildCorpus(v pdn.ProcVariant) *Corpus {
-	cfg := s.ChipConfig(v)
+// runKind tags corpus runs for the per-kind counters.
+type runKind int
+
+const (
+	kindSingleThreaded runKind = iota
+	kindMultiThreaded
+	kindMultiProgram
+)
+
+// corpusJob is one deferred measurement of the corpus population.
+type corpusJob struct {
+	name string
+	kind runKind
+	run  func() core.Result
+}
+
+// corpusJobs lists the corpus population in its fixed order: the
+// single-threaded suite, the multi-threaded runs, then the multi-program
+// pairs. The order is what the serial build used, so folding results in
+// job order keeps the corpus bit-identical at any worker count.
+func (s *Session) corpusJobs(cfg uarch.Config) []corpusJob {
 	spec := s.SpecProfiles()
 	par := workload.Parsec()
 	if s.Scale.SpecSubset > 0 && s.Scale.SpecSubset < len(par) {
 		par = par[:s.Scale.SpecSubset]
 	}
 
-	c := &Corpus{
-		Variant: v,
-		Merged:  sense.NewScope(cfg.PDN.VNom, core.DefaultMargins()),
-	}
-	add := func(name string, res core.Result) {
-		c.Runs = append(c.Runs, resilient.FromScope(name, res.Cycles, res.Scope))
-		c.Merged.Merge(res.Scope)
-	}
-
 	rcSingle := core.RunConfig{Cycles: s.Scale.RunCycles, WarmupCycles: s.Scale.WarmupCycles}
+	rcPair := core.RunConfig{Cycles: s.Scale.PairCycles, WarmupCycles: s.Scale.WarmupCycles}
+
+	jobs := make([]corpusJob, 0, len(spec)+len(par)+len(spec)*len(spec))
 	for _, p := range spec {
-		add(p.Name, core.RunSingle(cfg, p.NewStream(), rcSingle))
-		c.SingleThreaded++
+		jobs = append(jobs, corpusJob{p.Name, kindSingleThreaded, func() core.Result {
+			return core.RunSingle(cfg, p.NewStream(), rcSingle)
+		}})
 	}
 	// Multi-threaded runs: both cores execute threads of the same program
 	// (distinct stream instances — threads share the binary, not the
@@ -110,13 +134,44 @@ func (s *Session) buildCorpus(v pdn.ProcVariant) *Corpus {
 	for _, p := range par {
 		q := p
 		q.Seed = p.Seed + 1
-		add(p.Name+"(mt)", core.RunPair(cfg, p.NewStream(), q.NewStream(), rcSingle))
-		c.MultiThreaded++
+		jobs = append(jobs, corpusJob{p.Name + "(mt)", kindMultiThreaded, func() core.Result {
+			return core.RunPair(cfg, p.NewStream(), q.NewStream(), rcSingle)
+		}})
 	}
-	rcPair := core.RunConfig{Cycles: s.Scale.PairCycles, WarmupCycles: s.Scale.WarmupCycles}
 	for _, a := range spec {
 		for _, b := range spec {
-			add(a.Name+"+"+b.Name, core.RunPair(cfg, a.NewStream(), b.NewStream(), rcPair))
+			jobs = append(jobs, corpusJob{a.Name + "+" + b.Name, kindMultiProgram, func() core.Result {
+				return core.RunPair(cfg, a.NewStream(), b.NewStream(), rcPair)
+			}})
+		}
+	}
+	return jobs
+}
+
+func (s *Session) buildCorpus(v pdn.ProcVariant) *Corpus {
+	cfg := s.ChipConfig(v)
+	jobs := s.corpusJobs(cfg)
+
+	// Measure in parallel (each job is an independent seeded simulation),
+	// then fold serially in job order so the merged scope and run list
+	// match the serial build exactly.
+	results := make([]core.Result, len(jobs))
+	parallel.Sweep(s.Workers, len(jobs), func(i int) { results[i] = jobs[i].run() })
+
+	c := &Corpus{
+		Variant: v,
+		Merged:  sense.NewScope(cfg.PDN.VNom, core.DefaultMargins()),
+	}
+	for i, j := range jobs {
+		res := results[i]
+		c.Runs = append(c.Runs, resilient.FromScope(j.name, res.Cycles, res.Scope))
+		c.Merged.Merge(res.Scope)
+		switch j.kind {
+		case kindSingleThreaded:
+			c.SingleThreaded++
+		case kindMultiThreaded:
+			c.MultiThreaded++
+		case kindMultiProgram:
 			c.MultiProgram++
 		}
 	}
@@ -127,16 +182,14 @@ func (s *Session) buildCorpus(v pdn.ProcVariant) *Corpus {
 // The paper's scheduling study (Sec IV) runs on the Proc3 future-node
 // stand-in.
 func (s *Session) PairTable(v pdn.ProcVariant) *sched.PairTable {
-	if t, ok := s.tables[v.Name]; ok {
-		return t
-	}
-	bc := sched.BuildConfig{
-		Chip:   s.ChipConfig(v),
-		Cycles: s.Scale.PairCycles,
-		Warmup: s.Scale.WarmupCycles,
-		Margin: s.Margin(v),
-	}
-	t := sched.BuildPairTable(bc, s.SpecProfiles())
-	s.tables[v.Name] = t
-	return t
+	return s.tables.Do(v.Name, func() *sched.PairTable {
+		bc := sched.BuildConfig{
+			Chip:    s.ChipConfig(v),
+			Cycles:  s.Scale.PairCycles,
+			Warmup:  s.Scale.WarmupCycles,
+			Margin:  s.Margin(v),
+			Workers: s.Workers,
+		}
+		return sched.BuildPairTable(bc, s.SpecProfiles())
+	})
 }

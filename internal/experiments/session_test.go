@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"voltsmooth/internal/pdn"
+	"voltsmooth/internal/workload"
+)
+
+// microScale is a deliberately small scale for determinism tests that
+// rebuild corpora and tables from scratch several times.
+func microScale() Scale {
+	s := Tiny()
+	s.Name = "micro"
+	s.SpecSubset = 3
+	s.RunCycles = 8_000
+	s.PairCycles = 6_000
+	s.WarmupCycles = 1_000
+	s.RandomBatches = 4
+	return s
+}
+
+// TestCorpusParallelMatchesSerial asserts the tentpole guarantee on the
+// corpus path: workers=1 and workers=4 produce bit-identical corpora
+// (runs, merged scope, and counts), because every run is independently
+// seeded and the fold happens in the fixed job order.
+func TestCorpusParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus builds are slow")
+	}
+	serialSess := NewSession(microScale())
+	serialSess.Workers = 1
+	parSess := NewSession(microScale())
+	parSess.Workers = 4
+
+	serial := serialSess.Corpus(pdn.Proc3)
+	par := parSess.Corpus(pdn.Proc3)
+
+	if serial.SingleThreaded != par.SingleThreaded ||
+		serial.MultiThreaded != par.MultiThreaded ||
+		serial.MultiProgram != par.MultiProgram {
+		t.Errorf("run counts differ: %d/%d/%d vs %d/%d/%d",
+			serial.SingleThreaded, serial.MultiThreaded, serial.MultiProgram,
+			par.SingleThreaded, par.MultiThreaded, par.MultiProgram)
+	}
+	if !reflect.DeepEqual(serial.Runs, par.Runs) {
+		t.Error("corpus run data differ between serial and parallel builds")
+	}
+	if !reflect.DeepEqual(serial.Merged, par.Merged) {
+		t.Error("merged scopes differ between serial and parallel builds")
+	}
+}
+
+// TestSessionConcurrentUse hammers one session from many goroutines; the
+// per-key singleflight must hand every caller the same built-once values.
+// (Run under -race this also proves the caches are data-race free.)
+func TestSessionConcurrentUse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus builds are slow")
+	}
+	s := NewSession(microScale())
+	const callers = 8
+	corpora := make([]*Corpus, callers)
+	tables := make([]any, callers)
+	passing := make([]*Tab1Fig19Result, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for k := 0; k < callers; k++ {
+		go func(k int) {
+			defer wg.Done()
+			corpora[k] = s.Corpus(pdn.Proc3)
+			tables[k] = s.PairTable(pdn.Proc3)
+			passing[k] = Tab1Fig19(s)
+		}(k)
+	}
+	wg.Wait()
+	for k := 1; k < callers; k++ {
+		if corpora[k] != corpora[0] {
+			t.Fatal("concurrent callers got distinct corpora")
+		}
+		if tables[k] != tables[0] {
+			t.Fatal("concurrent callers got distinct pair tables")
+		}
+		if passing[k] != passing[0] {
+			t.Fatal("concurrent callers got distinct passing analyses")
+		}
+	}
+}
+
+// TestTab1Fig19Memoized pins the run-all fix: tab1 and fig19 share one
+// passing analysis per session instead of computing it twice.
+func TestTab1Fig19Memoized(t *testing.T) {
+	s := session(t)
+	a := Tab1Fig19(s)
+	b := Tab1Fig19(s)
+	if a != b {
+		t.Error("Tab1Fig19 recomputed on the second call")
+	}
+}
+
+// TestQuickSubsetOrderPinned asserts every quickSubsetOrder entry names a
+// real SPEC2006 profile, with no duplicates, and that the full order is
+// exactly the 29-benchmark suite — so every Scale.SpecSubset prefix is a
+// valid subset.
+func TestQuickSubsetOrderPinned(t *testing.T) {
+	suite := map[string]bool{}
+	for _, p := range workload.SPEC2006() {
+		suite[p.Name] = true
+	}
+	if len(quickSubsetOrder) != len(suite) {
+		t.Fatalf("quickSubsetOrder has %d entries, suite has %d", len(quickSubsetOrder), len(suite))
+	}
+	seen := map[string]bool{}
+	for _, name := range quickSubsetOrder {
+		if !suite[name] {
+			t.Errorf("quickSubsetOrder entry %q not in workload.SPEC2006()", name)
+		}
+		if seen[name] {
+			t.Errorf("quickSubsetOrder lists %q twice", name)
+		}
+		seen[name] = true
+	}
+}
+
+// TestSpecProfilesMissingNamePanics pins the fail-loudly behaviour: a
+// drifted subset entry must not silently become a zero-value profile.
+func TestSpecProfilesMissingNamePanics(t *testing.T) {
+	old := quickSubsetOrder
+	quickSubsetOrder = []string{"no-such-benchmark"}
+	defer func() { quickSubsetOrder = old }()
+
+	s := NewSession(Scale{SpecSubset: 1})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("SpecProfiles returned despite a drifted subset name")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "no-such-benchmark") {
+			t.Errorf("panic %v does not name the missing benchmark", r)
+		}
+	}()
+	s.SpecProfiles()
+}
+
+// TestFig18ZeroRandomBatches is the regression test for the NaN centroid:
+// a scale with no random control group must render finite values and no
+// NaN anywhere.
+func TestFig18ZeroRandomBatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pair-table build is slow")
+	}
+	sc := microScale()
+	sc.RandomBatches = 0
+	s := NewSession(sc)
+	r := Fig18(s)
+	if len(r.Random) != 0 {
+		t.Fatalf("expected no random batches, got %d", len(r.Random))
+	}
+	cd, cp := r.RandomCentroid()
+	if cd != 1 || cp != 1 {
+		t.Errorf("empty-control centroid = (%g, %g), want the SPECrate origin (1, 1)", cd, cp)
+	}
+	out := r.Render()
+	if strings.Contains(out, "NaN") {
+		t.Errorf("render contains NaN:\n%s", out)
+	}
+	if !strings.Contains(out, "no random control group") {
+		t.Error("render does not explain the missing control group")
+	}
+}
+
+// TestRandomEvalsDeterministicAcrossWidths drives the Fig 18 control
+// group through the session path at two widths on a real (micro) table.
+func TestRandomEvalsDeterministicAcrossWidths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pair-table build is slow")
+	}
+	build := func(workers int) *Fig18Result {
+		s := NewSession(microScale())
+		s.Workers = workers
+		return Fig18(s)
+	}
+	serial := build(1)
+	par := build(4)
+	if !reflect.DeepEqual(serial, par) {
+		t.Error("Fig18 results differ between workers=1 and workers=4")
+	}
+}

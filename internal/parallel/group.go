@@ -1,0 +1,64 @@
+package parallel
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Group is a cache with per-key singleflight semantics: the first Do call
+// for a key runs build, every concurrent Do for the same key blocks until
+// that build finishes, and later calls return the cached value without
+// running build again. The zero value is ready to use.
+//
+// A panicking build is cached as the panic and re-raised (as *PanicError)
+// for the builder, every concurrent waiter, and every later caller: the
+// builds here are deterministic measurements, so retrying a panicked key
+// would fail identically.
+type Group[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	pan  *PanicError
+}
+
+func (f *flight[V]) wait() V {
+	<-f.done
+	if f.pan != nil {
+		panic(f.pan)
+	}
+	return f.val
+}
+
+// Do returns the value for key, computing it with build at most once per
+// Group lifetime even under concurrent callers.
+func (g *Group[K, V]) Do(key K, build func() V) V {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[K]*flight[V]{}
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		return f.wait()
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	defer close(f.done)
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*PanicError); ok {
+				f.pan = pe
+			} else {
+				f.pan = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+			panic(f.pan)
+		}
+	}()
+	f.val = build()
+	return f.val
+}

@@ -1,0 +1,151 @@
+// Package parallel is the sweep engine behind the reproduction's pre-run
+// measurement phases. The paper's Sec IV study is explicitly such a phase
+// ("During a pre-run phase we gather all the data necessary across 29×29
+// CPU2006 program combinations"), and every run in it — like every run of
+// the characterization corpus — is an independent, deterministically
+// seeded simulation. That makes the sweeps embarrassingly parallel: the
+// engine fans an index space out over a bounded worker pool while callers
+// write each result into a preallocated slot, so parallel output is
+// bit-identical to serial output at any worker count.
+//
+// The package also provides Group, a mutex-guarded cache with per-key
+// singleflight semantics, used to make shared measurement caches safe for
+// concurrent experiments.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the fan-out width used when a caller passes a
+// non-positive worker count: one worker per schedulable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// PanicError carries a panic recovered on a worker goroutine (or inside a
+// Group build) to the caller, preserving the originating stack trace.
+// It is re-raised with panic, so unrecovered sweeps still crash with the
+// worker's stack in the report.
+type PanicError struct {
+	Value any    // the original panic value
+	Stack []byte // stack of the goroutine that panicked
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panicked: %v\n%s", p.Value, p.Stack)
+}
+
+// Unwrap exposes the original panic value when it was itself an error.
+func (p *PanicError) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// For runs fn(i) for every index i in [0, n) on at most `workers`
+// goroutines and waits for all of them. workers <= 0 means
+// DefaultWorkers(); workers == 1 runs everything serially, in index
+// order, on the calling goroutine — the exact historical serial path.
+//
+// Indexes are handed out dynamically, so callers must not depend on
+// execution order at widths > 1; deterministic placement comes from
+// writing result i into slot i of a preallocated slice.
+//
+// The first fn error cancels the sweep and is returned. A cancelled ctx
+// stops the sweep and its error is returned. A panicking fn stops the
+// sweep and the panic is re-raised on the calling goroutine as a
+// *PanicError wrapping the original value.
+func For(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		once  sync.Once
+		first error
+		pan   *PanicError
+	)
+	stop := make(chan struct{})
+	fail := func(err error, p *PanicError) {
+		once.Do(func() {
+			first, pan = err, p
+			close(stop)
+		})
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if pe, ok := r.(*PanicError); ok {
+						fail(nil, pe) // nested sweep: keep the original stack
+						return
+					}
+					fail(nil, &PanicError{Value: r, Stack: debug.Stack()})
+				}
+			}()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err, nil)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err, nil)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if pan != nil {
+		panic(pan)
+	}
+	return first
+}
+
+// Sweep is For for the common measurement-sweep case: no error path and
+// no cancellation. Panics still propagate to the caller.
+func Sweep(workers, n int, fn func(i int)) {
+	// fn has no error path, so For can only return a ctx error — and the
+	// background context has none.
+	_ = For(context.Background(), workers, n, func(i int) error {
+		fn(i)
+		return nil
+	})
+}

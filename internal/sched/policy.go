@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"voltsmooth/internal/parallel"
 )
 
 // Policy scores candidate pairs on the oracle table; the batch scheduler
@@ -182,13 +184,37 @@ func EvaluateBatch(t *PairTable, b Batch) BatchEval {
 	return BatchEval{Policy: b.Policy, Droops: dSum / n, Perf: pSum / n}
 }
 
+// randomSeeds draws the per-batch policy seeds for the random control
+// group. They come from one serial rand stream so the group is identical
+// however the batch builds are later distributed.
+func randomSeeds(count int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, count)
+	for k := range out {
+		out[k] = rng.Int63()
+	}
+	return out
+}
+
 // RandomBatches builds the paper's 100-random-schedule control group.
 func RandomBatches(t *PairTable, cfg BatchConfig, count int, seed int64) []Batch {
-	rng := rand.New(rand.NewSource(seed))
 	out := make([]Batch, 0, count)
-	for k := 0; k < count; k++ {
-		out = append(out, BuildBatch(t, RandomPolicy{Seed: rng.Int63()}, cfg))
+	for _, s := range randomSeeds(count, seed) {
+		out = append(out, BuildBatch(t, RandomPolicy{Seed: s}, cfg))
 	}
+	return out
+}
+
+// RandomEvals builds and evaluates the random control group, fanning the
+// per-batch greedy constructions (each an O(size·n²) table scan) out over
+// `workers` goroutines. The result equals evaluating
+// RandomBatches(t, cfg, count, seed) batch by batch, at any width.
+func RandomEvals(t *PairTable, cfg BatchConfig, count int, seed int64, workers int) []BatchEval {
+	seeds := randomSeeds(count, seed)
+	out := make([]BatchEval, count)
+	parallel.Sweep(workers, count, func(k int) {
+		out[k] = EvaluateBatch(t, BuildBatch(t, RandomPolicy{Seed: seeds[k]}, cfg))
+	})
 	return out
 }
 

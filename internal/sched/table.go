@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"voltsmooth/internal/core"
+	"voltsmooth/internal/parallel"
 	"voltsmooth/internal/resilient"
 	"voltsmooth/internal/stats"
 	"voltsmooth/internal/uarch"
@@ -54,6 +55,11 @@ type BuildConfig struct {
 	Margin float64 // droop-count margin; 0 means core.PhaseMargin
 	// Margins tracked for the resilient analysis; nil = core.DefaultMargins.
 	Margins []float64
+	// Workers bounds the sweep's fan-out: every run is an independent,
+	// deterministically seeded simulation, so the table is bit-identical
+	// at any width. <= 0 means parallel.DefaultWorkers(); 1 is the serial
+	// path.
+	Workers int
 }
 
 // DefaultBuildConfig returns the configuration used by the experiments:
@@ -70,8 +76,10 @@ func DefaultBuildConfig() BuildConfig {
 
 // BuildPairTable measures all len(profiles)² pairs plus the single-core
 // references. This is the experiment's pre-run phase; with the default
-// 400k-cycle windows the full 29×29 sweep is sizeable, so callers running
-// quick checks should pass fewer profiles or fewer cycles.
+// 400k-cycle windows the full 29×29 sweep is sizeable, so it fans out
+// over cfg.Workers goroutines (the runs are independent and seeded, so
+// the table is identical at any width). Callers running quick checks
+// should pass fewer profiles or fewer cycles.
 func BuildPairTable(cfg BuildConfig, profiles []workload.Profile) *PairTable {
 	if len(profiles) == 0 {
 		panic("sched: BuildPairTable needs at least one profile")
@@ -98,23 +106,26 @@ func BuildPairTable(cfg BuildConfig, profiles []workload.Profile) *PairTable {
 	}
 	for i, p := range profiles {
 		t.Names[i] = p.Name
-		res := core.RunSingle(cfg.Chip, p.NewStream(), rc)
-		t.SingleDroops[i] = res.DroopsPerKCycle(cfg.Margin)
-		t.SingleIPC[i] = res.IPC(0)
-	}
-	for i := range profiles {
 		t.Droops[i] = make([]float64, n)
 		t.IPC[i] = make([]float64, n)
 		t.Runs[i] = make([]resilient.RunData, n)
-		for j := range profiles {
-			res := core.RunPair(cfg.Chip, profiles[i].NewStream(), profiles[j].NewStream(), rc)
-			t.Droops[i][j] = res.DroopsPerKCycle(cfg.Margin)
-			t.IPC[i][j] = res.TotalIPC()
-			t.Runs[i][j] = resilient.FromScope(
-				fmt.Sprintf("%s+%s", profiles[i].Name, profiles[j].Name),
-				res.Cycles, res.Scope)
-		}
 	}
+	parallel.Sweep(cfg.Workers, n, func(i int) {
+		res := core.RunSingle(cfg.Chip, profiles[i].NewStream(), rc)
+		t.SingleDroops[i] = res.DroopsPerKCycle(cfg.Margin)
+		t.SingleIPC[i] = res.IPC(0)
+	})
+	// The N² pair sweep, flattened to one index space: run k measures
+	// program k/n on core 0 against program k%n on core 1.
+	parallel.Sweep(cfg.Workers, n*n, func(k int) {
+		i, j := k/n, k%n
+		res := core.RunPair(cfg.Chip, profiles[i].NewStream(), profiles[j].NewStream(), rc)
+		t.Droops[i][j] = res.DroopsPerKCycle(cfg.Margin)
+		t.IPC[i][j] = res.TotalIPC()
+		t.Runs[i][j] = resilient.FromScope(
+			fmt.Sprintf("%s+%s", profiles[i].Name, profiles[j].Name),
+			res.Cycles, res.Scope)
+	})
 	return t
 }
 
