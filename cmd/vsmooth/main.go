@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"voltsmooth/internal/experiments"
@@ -26,6 +27,9 @@ func main() {
 	scaleName := flag.String("scale", "quick", "experiment scale: tiny|quick|full")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"measurement-sweep fan-out (goroutines); 1 runs the serial path, results are identical at any width")
+	inject := flag.String("inject", "",
+		"fault classes for figx-recovery, comma-separated: spikes,dropout,counters (empty = all)")
+	injectSeed := flag.Uint64("inject-seed", 1, "seed driving every injected fault stream")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -43,7 +47,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "vsmooth: run needs at least one experiment id (or `all`)")
 			os.Exit(2)
 		}
-		if err := run(*scaleName, *workers, args[1:]); err != nil {
+		if err := run(*scaleName, *workers, *inject, *injectSeed, args[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, "vsmooth:", err)
 			os.Exit(1)
 		}
@@ -64,6 +68,10 @@ commands:
 -workers N fans the pre-run measurement sweeps (corpus, oracle pair
 table, random batches) out over N goroutines; every run is seeded and
 independent, so output is identical at any N. -workers 1 is serial.
+
+-inject selects the fault classes the figx-recovery experiment drives
+(spikes,dropout,counters; empty = all) and -inject-seed seeds them, so a
+degraded-sensor run is reproducible bit-for-bit.
 `)
 }
 
@@ -73,7 +81,7 @@ func list() {
 	}
 }
 
-func run(scaleName string, workers int, ids []string) error {
+func run(scaleName string, workers int, inject string, injectSeed uint64, ids []string) error {
 	scale, err := experiments.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -95,11 +103,24 @@ func run(scaleName string, workers int, ids []string) error {
 
 	session := experiments.NewSession(scale)
 	session.Workers = workers
+	session.FaultSeed = injectSeed
+	if inject != "" {
+		session.FaultClasses = strings.Split(inject, ",")
+	}
+	var failed []string
 	for _, e := range entries {
 		start := time.Now()
-		result := e.Run(session)
+		result, err := session.Run(e)
 		fmt.Printf("### %s — %s  (scale=%s, %.1fs)\n\n", e.ID, e.Title, scale.Name, time.Since(start).Seconds())
+		if err != nil {
+			failed = append(failed, e.ID)
+			fmt.Printf("FAILED: %v\n\n", err)
+			continue
+		}
 		fmt.Println(result.Render())
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d experiment(s) failed: %s", len(failed), strings.Join(failed, ", "))
 	}
 	return nil
 }

@@ -32,8 +32,8 @@ func session(t *testing.T) *Session {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 21 {
-		t.Fatalf("registry has %d experiments, want 21 (18 paper + 3 extensions)", len(all))
+	if len(all) != 22 {
+		t.Fatalf("registry has %d experiments, want 22 (18 paper + 3 extensions + figx-recovery)", len(all))
 	}
 	// Ordering: extensions, then figures numerically, then tables.
 	if all[0].ID != "ext1" || all[3].ID != "fig1" || all[len(all)-1].ID != "tab1" {

@@ -44,8 +44,8 @@ func Ext1(s *Session) *Ext1Result {
 	for _, pol := range []sched.OnlinePolicy{
 		sched.StallClusterPolicy{},
 		sched.StallSpreadPolicy{},
-		sched.RandomOnlinePolicy{Seed: 1},
-		sched.RandomOnlinePolicy{Seed: 2},
+		sched.NewRandomOnlinePolicy(1),
+		sched.NewRandomOnlinePolicy(2),
 	} {
 		r.Results = append(r.Results, sched.RunOnline(cfg, jobs(), pol))
 	}
@@ -67,7 +67,7 @@ func (r *Ext1Result) ByPolicy(name string) []sched.OnlineResult {
 func (r *Ext1Result) Render() string {
 	t := &Table{
 		Title:  "Ext 1: online schedulers driven only by performance counters (Proc3)",
-		Header: []string{"policy", "emergencies", "droops/Kc", "total cycles", "quanta", "jobs done"},
+		Header: []string{"policy", "emergencies", "droops/Kc", "total cycles", "quanta", "jobs done", "complete"},
 		Notes: []string{
 			"the stall-ratio metric stands in for a droop sensor, as the",
 			"paper proposes; clustering by stall ratio approaches the",
@@ -76,9 +76,19 @@ func (r *Ext1Result) Render() string {
 	}
 	for _, res := range r.Results {
 		t.AddRow(res.Policy, res.Emergencies, f2(res.DroopsPerKc),
-			res.TotalCycles, res.Quanta, res.CompletedJobs)
+			res.TotalCycles, res.Quanta, res.CompletedJobs, scheduleStatus(res))
 	}
 	return Tables{t}.Render()
+}
+
+// scheduleStatus renders an online schedule's completion state: truncated
+// schedules report a quanta prefix, not a completed workload, and every
+// table that prints OnlineResult rows says so.
+func scheduleStatus(res sched.OnlineResult) string {
+	if res.Truncated {
+		return fmt.Sprintf("truncated@%d", res.Quanta)
+	}
+	return "yes"
 }
 
 // Ext2Result compares split versus connected core supplies, the design

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"voltsmooth/internal/resilient"
+)
+
+// TestRecoveryCrossValidation is the PR's acceptance check: the executed
+// failsafe engine must reproduce the analytical resilient model's mean
+// improvement within the documented tolerance, and the experiment must be
+// bit-identical at any sweep width.
+func TestRecoveryCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery cross-validation is slow")
+	}
+	results := map[int]*RecoveryResult{}
+	renders := map[int]string{}
+	for _, workers := range []int{1, 4} {
+		s := NewSession(Tiny())
+		s.Workers = workers
+		r := Recovery(s)
+		results[workers] = r
+		renders[workers] = r.Render()
+	}
+	if renders[1] != renders[4] {
+		t.Error("figx-recovery output differs between -workers 1 and 4; sweep order leaked into results")
+	}
+
+	r := results[1]
+	if len(r.RazorRows) == 0 {
+		t.Fatal("no cross-validation rows")
+	}
+
+	// Per-schedule and aggregate agreement for the headline Razor scheme.
+	if mad := MeanAbsDelta(r.RazorRows); mad > RecoveryTolerancePct {
+		t.Errorf("razor mean |executed − analytical| = %.2f pp, documented tolerance %.1f pp",
+			mad, RecoveryTolerancePct)
+	}
+
+	// The aggregate also has to agree with resilient.MeanImprovement over
+	// the same run population — the Fig 8-style mean the model reports.
+	model := resilient.DefaultModel()
+	var runs []resilient.RunData
+	var execSum float64
+	for _, row := range r.RazorRows {
+		runs = append(runs, resilient.RunData{
+			Name:        row.Name,
+			Cycles:      r.UsefulCycles,
+			Margins:     []float64{r.Margin},
+			Emergencies: []uint64{row.BaselineEmergencies},
+		})
+		execSum += row.ExecutedPct
+	}
+	analyticalMean := model.MeanImprovement(runs, r.Margin, r.Razor.EquivalentCost())
+	executedMean := execSum / float64(len(r.RazorRows))
+	if math.Abs(executedMean-analyticalMean) > RecoveryTolerancePct {
+		t.Errorf("executed mean %.2f%% vs resilient.MeanImprovement %.2f%%: delta above %.1f pp",
+			executedMean, analyticalMean, RecoveryTolerancePct)
+	}
+
+	// Every emergency must have been exercised: a cross-validation against
+	// zero recoveries would be vacuous.
+	for _, row := range r.RazorRows {
+		if row.ExecutedEmergencies == 0 {
+			t.Errorf("schedule %s took no recoveries; margin too loose to validate anything", row.Name)
+		}
+	}
+}
+
+func TestRecoveryFaultRunsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery cross-validation is slow")
+	}
+	s := NewSession(Tiny())
+	s.Workers = 2
+	r := Recovery(s)
+
+	for _, row := range r.FaultRows {
+		if row.Err != "" {
+			t.Errorf("fault run %s failed: %s", row.Name, row.Err)
+		}
+		if row.InjectedSpikes == 0 || row.DroppedSamples == 0 {
+			t.Errorf("fault run %s injected nothing: spikes=%d dropped=%d",
+				row.Name, row.InjectedSpikes, row.DroppedSamples)
+		}
+		if row.Detected > row.TrueCrossings+row.InjectedSpikes {
+			t.Errorf("fault run %s detected %d crossings, electrically impossible vs %d true",
+				row.Name, row.Detected, row.TrueCrossings)
+		}
+	}
+
+	// The degraded online scheduler still drains every job and reports
+	// how blind it flew.
+	if r.Online.CompletedJobs != 4 {
+		t.Errorf("online scheduler under counter corruption completed %d of 4 jobs (%+v)",
+			r.Online.CompletedJobs, r.Online)
+	}
+	if r.Online.DegradedQuanta == 0 {
+		t.Error("counter corruption active but no quanta reported degraded")
+	}
+}
+
+func TestRecoveryRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery cross-validation is slow")
+	}
+	s := NewSession(Tiny())
+	out := Recovery(s).Render()
+	for _, want := range []string{"executed Razor recovery", "checkpoint recovery", "fault-injection", "degraded quanta", "mean |delta|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestSessionRunRecoversPanics(t *testing.T) {
+	s := NewSession(Tiny())
+	bad := Entry{ID: "boom", Title: "panics", Run: func(*Session) Renderer { panic("kaboom") }}
+	r, err := s.Run(bad)
+	if r != nil {
+		t.Error("panicking runner returned a renderer")
+	}
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("panic not surfaced as error: %v", err)
+	}
+	ok := Entry{ID: "fine", Title: "works", Run: func(*Session) Renderer { return Tables{} }}
+	if _, err := s.Run(ok); err != nil {
+		t.Errorf("healthy runner errored: %v", err)
+	}
+}
+
+func TestFaultPlanClasses(t *testing.T) {
+	s := NewSession(Tiny())
+	s.FaultClasses = []string{"dropout"}
+	p := s.faultPlan()
+	if p.SpikeEveryCycles != 0 || p.CounterCorruptEvery != 0 {
+		t.Errorf("dropout-only plan enables other classes: %+v", p)
+	}
+	if p.DropoutEveryCycles == 0 {
+		t.Error("dropout-only plan has dropout disabled")
+	}
+	s.FaultClasses = []string{"no-such-class"}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown fault class did not panic")
+		}
+	}()
+	s.faultPlan()
+}

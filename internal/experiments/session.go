@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"voltsmooth/internal/core"
@@ -30,6 +31,12 @@ type Session struct {
 	// parallel.DefaultWorkers(); 1 restores the serial path.
 	Workers int
 
+	// FaultClasses selects which fault classes the figx-recovery
+	// experiment injects ("spikes", "dropout", "counters"); empty enables
+	// all of them. FaultSeed drives every injected fault stream.
+	FaultClasses []string
+	FaultSeed    uint64
+
 	corpora parallel.Group[string, *Corpus]
 	tables  parallel.Group[string, *sched.PairTable]
 	passing parallel.Group[string, *Tab1Fig19Result]
@@ -38,6 +45,23 @@ type Session struct {
 // NewSession creates a session at the given scale.
 func NewSession(s Scale) *Session {
 	return &Session{Scale: s}
+}
+
+// ErrExperimentPanicked wraps a panic that escaped an experiment runner.
+var ErrExperimentPanicked = errors.New("experiments: runner panicked")
+
+// Run executes one experiment with a recovery boundary: a panic escaping
+// the runner (experiment internals panic on impossible configurations)
+// comes back as a typed error instead of killing the whole batch, so
+// cmd/vsmooth can report one failed figure and keep rendering the rest.
+func (s *Session) Run(e Entry) (r Renderer, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = nil
+			err = fmt.Errorf("%w: %s: %v", ErrExperimentPanicked, e.ID, p)
+		}
+	}()
+	return e.Run(s), nil
 }
 
 // ChipConfig returns the chip configuration for a decap variant.

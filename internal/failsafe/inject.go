@@ -1,0 +1,178 @@
+package failsafe
+
+import (
+	"errors"
+	"fmt"
+
+	"voltsmooth/internal/counters"
+)
+
+// ErrBadPlan reports an unusable fault-injection plan.
+var ErrBadPlan = errors.New("failsafe: bad fault plan")
+
+// Plan configures deterministic fault injection. Every fault class is
+// driven by the same seed, so a run is bit-identical for a given
+// (Plan, workload, config) regardless of what else executes in the
+// process — the property the parallel sweep tests pin.
+//
+// Three fault classes map onto the three trust boundaries of a deployed
+// noise-aware system:
+//
+//   - current spikes into the PDN stimulus: environmental events (other
+//     chips on the board, VRM transients) the platform model omits;
+//   - sensor dropout and quantization on the voltage observation: a
+//     degraded margin detector that misses or coarsens crossings;
+//   - corrupted counter deltas: a flaky performance-monitoring unit lying
+//     to the online scheduler (wired in via sched.CounterFault).
+type Plan struct {
+	// Seed drives every fault stream.
+	Seed uint64
+
+	// SpikeEveryCycles is the mean spacing of current-spike onsets
+	// (geometric, probability 1/N per cycle); 0 disables spikes.
+	SpikeEveryCycles uint64
+	// SpikeAmps is the extra die current during a spike.
+	SpikeAmps float64
+	// SpikeCycles is how long each spike lasts (minimum 1).
+	SpikeCycles uint64
+
+	// DropoutEveryCycles is the mean spacing of sensor-dropout onsets
+	// (geometric); 0 disables dropout.
+	DropoutEveryCycles uint64
+	// DropoutCycles is how long each dropout lasts (minimum 1).
+	DropoutCycles uint64
+
+	// QuantizeVolts rounds every surviving voltage observation to this
+	// resolution (an ADC-limited sensor); 0 observes exactly.
+	QuantizeVolts float64
+
+	// CounterCorruptEvery corrupts roughly one in N counter observations
+	// handed to the online scheduler (deterministically in quantum and
+	// core); 0 disables counter faults.
+	CounterCorruptEvery int
+}
+
+// Validate reports an unusable plan.
+func (p Plan) Validate() error {
+	if p.SpikeEveryCycles > 0 && p.SpikeAmps <= 0 {
+		return fmt.Errorf("%w: spikes enabled with SpikeAmps %g", ErrBadPlan, p.SpikeAmps)
+	}
+	if p.QuantizeVolts < 0 {
+		return fmt.Errorf("%w: negative QuantizeVolts %g", ErrBadPlan, p.QuantizeVolts)
+	}
+	if p.CounterCorruptEvery < 0 {
+		return fmt.Errorf("%w: negative CounterCorruptEvery %d", ErrBadPlan, p.CounterCorruptEvery)
+	}
+	return nil
+}
+
+// Injector is the runtime state of one plan. The voltage and spike streams
+// advance one step per call in engine order, so a run replays exactly; the
+// counter-fault path is a pure hash of (quantum, core, seed) so it stays
+// deterministic under any scheduler interleaving.
+type Injector struct {
+	plan Plan
+	rng  uint64
+
+	spikeLeft uint64
+	dropLeft  uint64
+
+	// Spikes counts spike onsets delivered; Dropped counts voltage
+	// observations lost to dropout.
+	Spikes  uint64
+	Dropped uint64
+}
+
+// NewInjector builds the runtime state for a plan.
+func NewInjector(p Plan) *Injector {
+	// splitmix64 of the seed so that seed 0 still yields a live stream.
+	z := p.Seed + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return &Injector{plan: p, rng: z}
+}
+
+// rand returns a uniform value in [0,1) (xorshift64*).
+func (in *Injector) rand() float64 {
+	in.rng ^= in.rng >> 12
+	in.rng ^= in.rng << 25
+	in.rng ^= in.rng >> 27
+	return float64((in.rng*0x2545F4914F6CDD1D)>>11) / (1 << 53)
+}
+
+// SpikeAmps returns the fault current to inject this cycle (0 when no
+// spike is active). Call exactly once per engine cycle.
+func (in *Injector) SpikeAmps() float64 {
+	if in.plan.SpikeEveryCycles == 0 {
+		return 0
+	}
+	if in.spikeLeft > 0 {
+		in.spikeLeft--
+		return in.plan.SpikeAmps
+	}
+	if in.rand() < 1/float64(in.plan.SpikeEveryCycles) {
+		in.Spikes++
+		dur := in.plan.SpikeCycles
+		if dur == 0 {
+			dur = 1
+		}
+		in.spikeLeft = dur - 1
+		return in.plan.SpikeAmps
+	}
+	return 0
+}
+
+// ObserveVoltage degrades one true voltage sample into what the margin
+// detector sees: ok=false during a dropout window, otherwise the sample
+// quantized to the plan's resolution.
+func (in *Injector) ObserveVoltage(v float64) (float64, bool) {
+	if in.plan.DropoutEveryCycles > 0 {
+		if in.dropLeft > 0 {
+			in.dropLeft--
+			in.Dropped++
+			return 0, false
+		}
+		if in.rand() < 1/float64(in.plan.DropoutEveryCycles) {
+			dur := in.plan.DropoutCycles
+			if dur == 0 {
+				dur = 1
+			}
+			in.dropLeft = dur - 1
+			in.Dropped++
+			return 0, false
+		}
+	}
+	if q := in.plan.QuantizeVolts; q > 0 {
+		steps := int64(v/q + 0.5)
+		v = float64(steps) * q
+	}
+	return v, true
+}
+
+// Corrupt implements sched.CounterFault: roughly one in CounterCorruptEvery
+// observations is either lost outright or replaced with an architecturally
+// impossible delta (which the resilient scheduler's plausibility check must
+// reject). Pure in (quantum, coreID, seed) — independent of call order.
+func (in *Injector) Corrupt(quantum, coreID int, d counters.Counters) (counters.Counters, bool) {
+	n := in.plan.CounterCorruptEvery
+	if n == 0 {
+		return d, true
+	}
+	h := in.plan.Seed ^ uint64(quantum)*0x9E3779B97F4A7C15 ^ uint64(coreID+1)*0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 30)) * 0x94D049BB133111EB
+	h ^= h >> 31
+	if h%uint64(n) != 0 {
+		return d, true
+	}
+	if h&(1<<32) != 0 {
+		return d, false // the observation never arrived
+	}
+	// A stuck-high instruction counter: impossible for any issue width.
+	d.Instructions = d.Cycles * 1000
+	d.StallCycles = d.Cycles + 1
+	return d, true
+}

@@ -44,11 +44,18 @@ func FromScope(name string, cycles uint64, s *sense.Scope) RunData {
 	return RunData{Name: name, Cycles: cycles, Margins: margins, Emergencies: em}
 }
 
+// marginEps is the float tolerance for margin lookups, matching the
+// clamp Gain applies: margins assembled by sweep accumulation drift a few
+// ulps from the tracked literals, and an exact-equality match would turn
+// that drift into a panic.
+const marginEps = 1e-9
+
 // EmergenciesAt returns the emergency count at the given margin, which
-// must be one of the tracked margins.
+// must match one of the tracked margins within 1e-9 (the same tolerance
+// Gain allows for sweep accumulation).
 func (r *RunData) EmergenciesAt(margin float64) uint64 {
 	for i, m := range r.Margins {
-		if m == margin {
+		if math.Abs(m-margin) <= marginEps {
 			return r.Emergencies[i]
 		}
 	}
@@ -74,7 +81,7 @@ func DefaultModel() Model {
 // A tiny tolerance above the worst-case margin is accepted (and clamped)
 // so that float accumulation in margin sweeps cannot trip the bound.
 func (m Model) Gain(margin float64) float64 {
-	const eps = 1e-9
+	const eps = marginEps
 	if margin < 0 || margin > m.WorstCaseMargin+eps {
 		panic(fmt.Sprintf("resilient: margin %g outside [0, %g]", margin, m.WorstCaseMargin))
 	}

@@ -181,6 +181,35 @@ func TestFromScope(t *testing.T) {
 	}
 }
 
+// TestEmergenciesAtToleratesAccumulatedMargin queries with a margin
+// assembled by sweep accumulation, whose float value drifts a few ulps
+// from the tracked literal. The lookup must match within the same 1e-9
+// tolerance Gain clamps with, not by exact equality.
+func TestEmergenciesAtToleratesAccumulatedMargin(t *testing.T) {
+	r := RunData{
+		Name:        "x",
+		Cycles:      100,
+		Margins:     []float64{0.01, 0.055, 0.14},
+		Emergencies: []uint64{9, 4, 0},
+	}
+	// 0.01 + 9×0.005 accumulates to 0.05500000000000001.
+	acc := 0.01
+	for i := 0; i < 9; i++ {
+		acc += 0.005
+	}
+	if acc == 0.055 {
+		t.Fatal("accumulated margin did not drift; test is vacuous")
+	}
+	if got := r.EmergenciesAt(acc); got != 4 {
+		t.Errorf("EmergenciesAt(%v) = %d, want 4", acc, got)
+	}
+	// The same accumulated margin must flow through Improvement, which
+	// combines the lookup with the Gain clamp.
+	if imp := DefaultModel().Improvement(r, acc, 10); math.IsNaN(imp) {
+		t.Error("Improvement with accumulated margin returned NaN")
+	}
+}
+
 func TestEmergenciesAtUnknownMarginPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -92,20 +92,37 @@ func (StallSpreadPolicy) Pick(view []JobView) (int, int) {
 	return sorted[0].ID, sorted[len(sorted)-1].ID
 }
 
-// RandomOnlinePolicy picks runnable pairs uniformly (seeded).
-type RandomOnlinePolicy struct{ Seed int64 }
+// RandomOnlinePolicy picks runnable pairs uniformly. It is stateful: one
+// seeded generator, created on first use, drives every Pick. (The earlier
+// stateless version reseeded from the view's shape each quantum, so any
+// repeated runnable set repeated the same pair — a schedule could pin two
+// jobs together until MaxQuanta. A persistent generator keeps sampling
+// fresh pairs while staying fully deterministic for a given Seed.)
+// Construct with NewRandomOnlinePolicy and do not share one instance
+// across concurrent schedules.
+type RandomOnlinePolicy struct {
+	Seed int64
+	rng  *rand.Rand
+}
+
+// NewRandomOnlinePolicy returns a seeded random pairing policy.
+func NewRandomOnlinePolicy(seed int64) *RandomOnlinePolicy {
+	return &RandomOnlinePolicy{Seed: seed}
+}
 
 // Name implements OnlinePolicy.
-func (RandomOnlinePolicy) Name() string { return "random" }
+func (*RandomOnlinePolicy) Name() string { return "random" }
 
 // Pick implements OnlinePolicy.
-func (r RandomOnlinePolicy) Pick(view []JobView) (int, int) {
+func (r *RandomOnlinePolicy) Pick(view []JobView) (int, int) {
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(r.Seed))
+	}
 	if len(view) < 2 {
 		return view[0].ID, -1
 	}
-	rng := rand.New(rand.NewSource(r.Seed ^ int64(len(view))<<32 ^ int64(view[0].ID)))
-	i := rng.Intn(len(view))
-	j := rng.Intn(len(view) - 1)
+	i := r.rng.Intn(len(view))
+	j := r.rng.Intn(len(view) - 1)
 	if j >= i {
 		j++
 	}
@@ -120,6 +137,14 @@ type OnlineResult struct {
 	DroopsPerKc   float64
 	Quanta        int
 	CompletedJobs int
+	// Truncated reports that the schedule hit MaxQuanta with runnable
+	// jobs left: the cycle and emergency totals cover a prefix of the
+	// workload, not a completed schedule.
+	Truncated bool
+	// DegradedQuanta counts quanta in which at least one counter
+	// observation was discarded as corrupt or missing and the scheduler
+	// fell back to its prior estimate (resilient runs only).
+	DegradedQuanta int
 }
 
 // OnlineConfig shapes the scheduler run.
@@ -155,12 +180,43 @@ func NewJob(p workload.Profile, instructions uint64) *Job {
 	return &Job{Profile: p, RemainingInstr: instructions}
 }
 
+// CounterFault corrupts or drops the scheduler's view of one per-quantum
+// counter delta — the fault-injection seam for degraded performance
+// monitoring (internal/failsafe provides a seeded implementation). It
+// receives only a copy of the observed delta: chip state is never
+// touched, so the corruption degrades the scheduler's information, not
+// the machine. Implementations must be deterministic in (quantum, coreID)
+// and their own seed.
+type CounterFault interface {
+	// Corrupt transforms the observed delta for the given quantum and
+	// core. Returning ok=false marks the observation as lost entirely
+	// (a dropped-out monitoring sensor).
+	Corrupt(quantum, coreID int, d counters.Counters) (out counters.Counters, ok bool)
+}
+
 // RunOnline executes the job set to completion under the policy and
 // reports total time and chip-wide emergencies. Jobs run two at a time in
 // quanta; between quanta the scheduler reads each core's counter deltas,
 // updates its stall-ratio estimates, and re-picks. Unobserved jobs carry
 // a neutral prior so every job gets scheduled early on.
 func RunOnline(cfg OnlineConfig, jobs []*Job, policy OnlinePolicy) OnlineResult {
+	return runOnline(cfg, jobs, policy, nil)
+}
+
+// RunOnlineResilient is RunOnline with a degraded performance-monitoring
+// path: every counter observation passes through the fault layer, and any
+// observation that is lost or implausible is discarded instead of
+// poisoning the estimates. The policy keeps scheduling on each job's
+// previous estimate — the neutral prior, for a job never cleanly
+// observed — and job progress is charged from the IPC estimate so the
+// schedule still drains. Quanta that lost at least one observation are
+// counted in OnlineResult.DegradedQuanta. A nil fault makes it identical
+// to RunOnline.
+func RunOnlineResilient(cfg OnlineConfig, jobs []*Job, policy OnlinePolicy, fault CounterFault) OnlineResult {
+	return runOnline(cfg, jobs, policy, fault)
+}
+
+func runOnline(cfg OnlineConfig, jobs []*Job, policy OnlinePolicy, fault CounterFault) OnlineResult {
 	if len(jobs) == 0 {
 		panic("sched: RunOnline with no jobs")
 	}
@@ -196,6 +252,7 @@ func RunOnline(cfg OnlineConfig, jobs []*Job, policy OnlinePolicy) OnlineResult 
 			break
 		}
 		if cfg.MaxQuanta > 0 && res.Quanta >= cfg.MaxQuanta {
+			res.Truncated = true
 			break
 		}
 		a, b := policy.Pick(view)
@@ -218,12 +275,26 @@ func RunOnline(cfg OnlineConfig, jobs []*Job, policy OnlinePolicy) OnlineResult 
 		res.TotalCycles += cfg.QuantumCycles
 		res.Quanta++
 
+		degraded := false
 		update := func(jobID int, snap counters.Counters, coreID int) {
 			if jobID < 0 {
 				return
 			}
 			d := chip.Counters(coreID).Delta(snap)
 			j := jobs[jobID]
+			if fault != nil {
+				var ok bool
+				d, ok = fault.Corrupt(res.Quanta-1, coreID, d)
+				if !ok || !plausibleDelta(d, cfg) {
+					// Lost or corrupt observation: keep the previous
+					// estimate (the neutral prior for a job never
+					// cleanly observed) and charge progress from the
+					// IPC estimate so the schedule still drains.
+					degraded = true
+					retire(j, estimatedWork(j, cfg), &res)
+					return
+				}
+			}
 			if !j.observed {
 				j.stallEMA = d.StallRatio()
 				j.ipcEMA = d.IPC()
@@ -232,21 +303,55 @@ func RunOnline(cfg OnlineConfig, jobs []*Job, policy OnlinePolicy) OnlineResult 
 				j.stallEMA += cfg.EMAAlpha * (d.StallRatio() - j.stallEMA)
 				j.ipcEMA += cfg.EMAAlpha * (d.IPC() - j.ipcEMA)
 			}
-			if d.Instructions >= j.RemainingInstr {
-				j.RemainingInstr = 0
-				j.done = true
-				res.CompletedJobs++
-			} else {
-				j.RemainingInstr -= d.Instructions
-			}
+			retire(j, d.Instructions, &res)
 		}
 		update(a, snapA, 0)
 		update(b, snapB, 1)
+		if degraded {
+			res.DegradedQuanta++
+		}
 	}
 
 	res.Emergencies = scope.Crossings(cfg.Margin)
-	res.DroopsPerKc = 1000 * float64(res.Emergencies) / float64(res.TotalCycles)
+	if res.TotalCycles > 0 {
+		res.DroopsPerKc = 1000 * float64(res.Emergencies) / float64(res.TotalCycles)
+	}
 	return res
+}
+
+// retire charges completed work against a job's remaining instructions.
+func retire(j *Job, instructions uint64, res *OnlineResult) {
+	if instructions >= j.RemainingInstr {
+		j.RemainingInstr = 0
+		j.done = true
+		res.CompletedJobs++
+		return
+	}
+	j.RemainingInstr -= instructions
+}
+
+// estimatedWork is the conservative per-quantum progress charged when an
+// observation is lost: the job's IPC estimate over the quantum, floored
+// at one instruction so a fully blind schedule still terminates.
+func estimatedWork(j *Job, cfg OnlineConfig) uint64 {
+	est := uint64(j.ipcEMA * float64(cfg.QuantumCycles))
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// plausibleDelta reports whether an observed delta could have come from a
+// real quantum on this chip: exactly the quantum's cycles elapsed, and no
+// count exceeds its architectural ceiling. Corruption that escapes these
+// bounds is indistinguishable from a real observation and is absorbed by
+// the EMA like any other noise.
+func plausibleDelta(d counters.Counters, cfg OnlineConfig) bool {
+	w := uint64(cfg.Chip.IssueWidth)
+	return d.Cycles == cfg.QuantumCycles &&
+		d.Instructions <= d.Cycles*w &&
+		d.StallCycles <= d.Cycles &&
+		d.IssueSlots <= d.Cycles*w
 }
 
 func validatePick(view []JobView, a, b int) {

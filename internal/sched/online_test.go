@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"voltsmooth/internal/core"
+	"voltsmooth/internal/counters"
 	"voltsmooth/internal/pdn"
 	"voltsmooth/internal/uarch"
 	"voltsmooth/internal/workload"
@@ -30,7 +31,7 @@ func onlineJobs(t *testing.T, names []string, instr uint64) []*Job {
 
 func TestPoliciesPickValidPairs(t *testing.T) {
 	view := []JobView{{ID: 3, StallRatio: 0.8}, {ID: 7, StallRatio: 0.2}, {ID: 9, StallRatio: 0.5}}
-	for _, p := range []OnlinePolicy{StallClusterPolicy{}, StallSpreadPolicy{}, RandomOnlinePolicy{Seed: 5}} {
+	for _, p := range []OnlinePolicy{StallClusterPolicy{}, StallSpreadPolicy{}, NewRandomOnlinePolicy(5)} {
 		a, b := p.Pick(view)
 		if a == b {
 			t.Errorf("%s picked the same job twice", p.Name())
@@ -59,7 +60,7 @@ func TestStallClusterPairsSimilar(t *testing.T) {
 
 func TestSingleRunnableJobRunsAlone(t *testing.T) {
 	view := []JobView{{ID: 4, StallRatio: 0.5}}
-	for _, p := range []OnlinePolicy{StallClusterPolicy{}, StallSpreadPolicy{}, RandomOnlinePolicy{}} {
+	for _, p := range []OnlinePolicy{StallClusterPolicy{}, StallSpreadPolicy{}, NewRandomOnlinePolicy(0)} {
 		a, b := p.Pick(view)
 		if a != 4 || b != -1 {
 			t.Errorf("%s with one job picked (%d,%d), want (4,-1)", p.Name(), a, b)
@@ -116,6 +117,124 @@ func TestRunOnlineMaxQuantaBound(t *testing.T) {
 	}
 	if res.CompletedJobs != 0 {
 		t.Error("impossible completion")
+	}
+	if !res.Truncated {
+		t.Error("schedule hit MaxQuanta with runnable jobs but Truncated is false")
+	}
+}
+
+func TestRandomPolicyDeterministicAndVaried(t *testing.T) {
+	view := []JobView{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 3}}
+	picks := func(seed int64) [][2]int {
+		p := NewRandomOnlinePolicy(seed)
+		var out [][2]int
+		for i := 0; i < 32; i++ {
+			a, b := p.Pick(view)
+			out = append(out, [2]int{a, b})
+		}
+		return out
+	}
+	// Same seed, fresh instance: the identical pick sequence.
+	a, b := picks(11), picks(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pick %d differs across same-seed instances: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Repeated identical views must still explore distinct pairs — the
+	// regression the stateless version had, where any repeated runnable
+	// set pinned the same pair until MaxQuanta.
+	distinct := map[[2]int]bool{}
+	for _, p := range a {
+		distinct[p] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("32 picks over an unchanged view produced %d distinct pairs, want ≥ 2", len(distinct))
+	}
+}
+
+func TestRandomPolicyScheduleDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("online run is slow")
+	}
+	run := func() OnlineResult {
+		cfg := DefaultOnlineConfig(onlineChip(), core.PhaseMarginFor(0.03))
+		cfg.QuantumCycles = 8_000
+		return RunOnline(cfg, onlineJobs(t, []string{"mcf", "gcc", "namd"}, 40_000), NewRandomOnlinePolicy(7))
+	}
+	a, b := run(), run()
+	if a.Emergencies != b.Emergencies || a.TotalCycles != b.TotalCycles || a.Quanta != b.Quanta {
+		t.Errorf("random schedule not deterministic for a fixed seed: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunOnlineEmptyScheduleReportsZeroRate(t *testing.T) {
+	cfg := DefaultOnlineConfig(onlineChip(), core.PhaseMarginFor(0.03))
+	cfg.QuantumCycles = 2_000
+	jobs := onlineJobs(t, []string{"mcf", "namd"}, 1)
+	RunOnline(cfg, jobs, StallClusterPolicy{})
+	// Re-running a drained job set executes zero quanta; the rate must
+	// come back as 0, not 0/0 = NaN.
+	res := RunOnline(cfg, jobs, StallClusterPolicy{})
+	if res.TotalCycles != 0 || res.Quanta != 0 {
+		t.Fatalf("drained set still ran: %+v", res)
+	}
+	if res.DroopsPerKc != 0 {
+		t.Errorf("DroopsPerKc = %v on an empty schedule, want 0", res.DroopsPerKc)
+	}
+	if res.Truncated {
+		t.Error("empty schedule marked truncated")
+	}
+}
+
+// dropAllFaults loses every counter observation: the scheduler must fall
+// back to priors and IPC-estimated progress for the whole schedule.
+type dropAllFaults struct{}
+
+func (dropAllFaults) Corrupt(quantum, coreID int, d counters.Counters) (counters.Counters, bool) {
+	return d, false
+}
+
+func TestRunOnlineResilientSurvivesTotalSensorLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("online run is slow")
+	}
+	cfg := DefaultOnlineConfig(onlineChip(), core.PhaseMarginFor(0.03))
+	cfg.QuantumCycles = 8_000
+	cfg.MaxQuanta = 400
+	jobs := onlineJobs(t, []string{"mcf", "namd"}, 30_000)
+	res := RunOnlineResilient(cfg, jobs, StallClusterPolicy{}, dropAllFaults{})
+	if res.CompletedJobs != 2 {
+		t.Fatalf("blind schedule completed %d of 2 jobs: %+v", res.CompletedJobs, res)
+	}
+	if res.DegradedQuanta != res.Quanta {
+		t.Errorf("every quantum lost its observations but only %d of %d marked degraded",
+			res.DegradedQuanta, res.Quanta)
+	}
+	// Estimates never update past the prior when nothing is observed.
+	for i, j := range jobs {
+		if j.observed {
+			t.Errorf("job %d marked observed despite total sensor loss", i)
+		}
+	}
+}
+
+func TestRunOnlineResilientNilFaultMatchesRunOnline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("online run is slow")
+	}
+	run := func(resilient bool) OnlineResult {
+		cfg := DefaultOnlineConfig(onlineChip(), core.PhaseMarginFor(0.03))
+		cfg.QuantumCycles = 8_000
+		jobs := onlineJobs(t, []string{"mcf", "gcc"}, 30_000)
+		if resilient {
+			return RunOnlineResilient(cfg, jobs, StallClusterPolicy{}, nil)
+		}
+		return RunOnline(cfg, jobs, StallClusterPolicy{})
+	}
+	a, b := run(false), run(true)
+	if a != b {
+		t.Errorf("nil-fault resilient run diverged: %+v vs %+v", a, b)
 	}
 }
 

@@ -84,12 +84,18 @@ func (s *Scope) Sample(v float64) {
 // Samples returns the number of samples recorded.
 func (s *Scope) Samples() uint64 { return s.samples }
 
+// marginEps is the float tolerance for margin lookups: margins assembled
+// by sweep accumulation drift a few ulps from the constructed literals,
+// and an exact-equality match would turn that drift into a panic. It is
+// far below the 0.005 spacing of any margin set in use.
+const marginEps = 1e-9
+
 // Crossings returns the number of voltage emergencies recorded for the
-// given margin fraction, which must be one of the margins the scope was
-// constructed with.
+// given margin fraction, which must match one of the margins the scope
+// was constructed with within 1e-9.
 func (s *Scope) Crossings(margin float64) uint64 {
 	for i, m := range s.margins {
-		if m == margin {
+		if math.Abs(m-margin) <= marginEps {
 			return s.crossings[i]
 		}
 	}

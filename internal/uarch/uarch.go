@@ -253,6 +253,10 @@ type Chip struct {
 	current   float64 // last total chip current
 	voltage   float64 // last sensed voltage (min across rails)
 	rng       uint64  // deterministic PRNG for contention outcomes
+
+	// injectAmps is extra die current queued by InjectCurrent for the
+	// next cycle (the fault-injection seam for PDN stimulus spikes).
+	injectAmps float64
 }
 
 // splitRail divides the shared power-delivery network across n rails:
@@ -394,6 +398,53 @@ func (c *Chip) Cycle() float64 {
 		for i := range perCore {
 			perCore[i] += extra / float64(len(perCore))
 		}
+	}
+	return c.driveNets(perCore, total)
+}
+
+// StallCycle advances the chip by one clock cycle with every pipeline
+// frozen: no instructions issue, no stall/burst countdowns tick, no
+// counters or PRNG state advance — only the smoothed current collapses
+// toward the clock-gated floor and the rails integrate another cycle.
+// This is the recovery stall of a resilient design (a Razor-style flush
+// or a checkpoint restore holds the whole chip while the recovery
+// hardware works), and the current collapse it causes is itself a dI/dt
+// event: the refill after a recovery can trigger the next emergency,
+// which is exactly the feedback the executed failsafe engine exists to
+// measure.
+func (c *Chip) StallCycle() float64 {
+	cm := &c.cfg.Current
+	uncoreShare := cm.UncoreAmps / float64(len(c.cores))
+	perCore := make([]float64, len(c.cores))
+	total := 0.0
+	for i := range c.cores {
+		co := &c.cores[i]
+		co.aSmooth += cm.RampAlpha * (0 - co.aSmooth)
+		perCore[i] = cm.GatedAmps + co.aSmooth*cm.ActiveAmps + uncoreShare
+		total += perCore[i]
+	}
+	return c.driveNets(perCore, total)
+}
+
+// InjectCurrent queues extra die current (amperes) to be drawn during the
+// next cycle on top of whatever the cores draw — the fault-injection seam
+// for voltage-spike stimuli on the PDN. Repeated calls before the next
+// cycle accumulate; the queued amount is consumed by that cycle only.
+// Injected current perturbs only the electrical state: core execution
+// never observes it, so architectural replay stays deterministic under
+// injection.
+func (c *Chip) InjectCurrent(amps float64) { c.injectAmps += amps }
+
+// driveNets applies any injected fault current, drives the rail(s) with
+// the per-core draws, and advances the chip clock.
+func (c *Chip) driveNets(perCore []float64, total float64) float64 {
+	if c.injectAmps != 0 {
+		total += c.injectAmps
+		share := c.injectAmps / float64(len(perCore))
+		for i := range perCore {
+			perCore[i] += share
+		}
+		c.injectAmps = 0
 	}
 	c.current = total
 	c.cycles++

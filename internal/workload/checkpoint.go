@@ -1,0 +1,46 @@
+package workload
+
+// Checkpointable is a Stream whose position can be captured and later
+// rewound. The failsafe engine (internal/failsafe) snapshots streams at
+// checkpoint boundaries so a voltage-emergency rollback can replay the
+// exact instruction sequence that was in flight: replay must be
+// bit-identical or the resilient design would retire different work than
+// it lost, breaking the "no lost or duplicated instructions" invariant.
+//
+// Every stream in this package implements Checkpointable. The snapshot is
+// opaque: callers pass it back to Restore unmodified, and a snapshot may
+// be restored any number of times (nested rollbacks re-restore the same
+// checkpoint).
+type Checkpointable interface {
+	Stream
+	// Checkpoint returns an opaque snapshot of the stream position.
+	Checkpoint() any
+	// Restore rewinds the stream to a snapshot previously returned by
+	// this stream's Checkpoint.
+	Restore(state any)
+}
+
+// profileStream snapshots are whole-value copies: the rng, phase cursor,
+// and scale are the complete generation state. The embedded Profile is
+// copied too (its Phases slice is shared, but profiles are immutable once
+// a stream exists).
+func (s *profileStream) Checkpoint() any { return *s }
+
+func (s *profileStream) Restore(state any) { *s = state.(profileStream) }
+
+func (m *microStream) Checkpoint() any { return *m }
+
+func (m *microStream) Restore(state any) { *m = state.(microStream) }
+
+// The idle loop is stateless: every cycle is the same halted cycle.
+func (idleStream) Checkpoint() any { return idleStream{} }
+
+func (idleStream) Restore(any) {}
+
+func (v *virusStream) Checkpoint() any { return *v }
+
+func (v *virusStream) Restore(state any) { *v = state.(virusStream) }
+
+func (r *resonantStream) Checkpoint() any { return *r }
+
+func (r *resonantStream) Restore(state any) { *r = state.(resonantStream) }
