@@ -8,6 +8,7 @@ package voltsmooth
 // reported time is the cost of regenerating that figure's analysis.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -31,10 +32,10 @@ func benchSession(b *testing.B) *experiments.Session {
 		benchSess = experiments.NewSession(experiments.Tiny())
 		// Pre-build the shared measurements so figure benchmarks time
 		// analysis, not corpus construction.
-		benchSess.Corpus(pdn.Proc100)
-		benchSess.Corpus(pdn.Proc25)
-		benchSess.Corpus(pdn.Proc3)
-		benchSess.PairTable(pdn.Proc3)
+		benchSess.Corpus(context.Background(), pdn.Proc100)
+		benchSess.Corpus(context.Background(), pdn.Proc25)
+		benchSess.Corpus(context.Background(), pdn.Proc3)
+		benchSess.PairTable(context.Background(), pdn.Proc3)
 	})
 	return benchSess
 }
@@ -48,7 +49,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if out := e.Run(s).Render(); len(out) == 0 {
+		if out := e.Run(context.Background(), s).Render(); len(out) == 0 {
 			b.Fatal("empty render")
 		}
 	}
@@ -97,7 +98,7 @@ func BenchmarkCorpusBuild(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s := experiments.NewSession(experiments.Tiny())
 				s.Workers = w
-				s.Corpus(pdn.Proc100)
+				s.Corpus(context.Background(), pdn.Proc100)
 			}
 		})
 	}
@@ -111,7 +112,7 @@ func BenchmarkPairTableBuild(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s := experiments.NewSession(experiments.Tiny())
 				s.Workers = w
-				s.PairTable(pdn.Proc3)
+				s.PairTable(context.Background(), pdn.Proc3)
 			}
 		})
 	}

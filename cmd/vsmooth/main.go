@@ -10,17 +10,32 @@
 //	vsmooth run fig8 fig10 tab1  # several (shared measurements are cached)
 //	vsmooth run all              # everything
 //	vsmooth -scale full run all  # full-fidelity sweep (slow)
+//
+// Long campaigns are supervised: experiments run under a batch runner
+// with per-attempt deadlines, retry with backoff, and a stall watchdog
+// (see internal/runner). Ctrl-C (or SIGTERM, or -timeout) shuts the
+// campaign down gracefully — in-flight simulations stop at their next
+// run boundary, the journal is flushed, and every figure that completed
+// is still rendered. With -journal the campaign checkpoints each
+// completed measurement, and -resume continues an interrupted one from
+// its last completed unit with bit-identical output.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"voltsmooth/internal/experiments"
+	"voltsmooth/internal/journal"
+	"voltsmooth/internal/runner"
 )
 
 func main() {
@@ -30,6 +45,12 @@ func main() {
 	inject := flag.String("inject", "",
 		"fault classes for figx-recovery, comma-separated: spikes,dropout,counters (empty = all)")
 	injectSeed := flag.Uint64("inject-seed", 1, "seed driving every injected fault stream")
+	timeout := flag.Duration("timeout", 0, "whole-campaign wall-clock budget (0 = none); on expiry the run shuts down like Ctrl-C")
+	expTimeout := flag.Duration("exp-timeout", 0, "per-experiment attempt deadline (0 = none)")
+	stall := flag.Duration("stall", 0, "stall watchdog window: cancel and retry an experiment reporting no progress for this long (0 = off)")
+	retries := flag.Int("retries", runner.DefaultMaxAttempts, "attempts per experiment (first run + retries)")
+	journalPath := flag.String("journal", "", "checkpoint completed measurements to this file (JSONL)")
+	resume := flag.Bool("resume", false, "continue an existing -journal file; it must match the current scale and fault config")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -47,7 +68,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "vsmooth: run needs at least one experiment id (or `all`)")
 			os.Exit(2)
 		}
-		if err := run(*scaleName, *workers, *inject, *injectSeed, args[1:]); err != nil {
+		cfg := runConfig{
+			scaleName:   *scaleName,
+			workers:     *workers,
+			inject:      *inject,
+			injectSeed:  *injectSeed,
+			timeout:     *timeout,
+			expTimeout:  *expTimeout,
+			stall:       *stall,
+			retries:     *retries,
+			journalPath: *journalPath,
+			resume:      *resume,
+		}
+		if err := run(cfg, args[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, "vsmooth:", err)
 			os.Exit(1)
 		}
@@ -59,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: vsmooth [-scale tiny|quick|full] [-workers N] <command>
+	fmt.Fprintf(os.Stderr, `usage: vsmooth [flags] <command>
 
 commands:
   list                list all experiments
@@ -72,6 +105,16 @@ independent, so output is identical at any N. -workers 1 is serial.
 -inject selects the fault classes the figx-recovery experiment drives
 (spikes,dropout,counters; empty = all) and -inject-seed seeds them, so a
 degraded-sensor run is reproducible bit-for-bit.
+
+Campaign supervision: -timeout bounds the whole run, -exp-timeout each
+attempt, -retries the attempts per experiment, and -stall arms a
+watchdog that cancels and retries experiments making no progress.
+Ctrl-C / SIGTERM stop gracefully: completed figures still render.
+
+-journal FILE checkpoints every completed measurement; after an
+interrupt, -resume continues from the last completed unit and produces
+bit-identical output. A journal recorded under a different scale or
+fault config is rejected.
 `)
 }
 
@@ -81,8 +124,21 @@ func list() {
 	}
 }
 
-func run(scaleName string, workers int, inject string, injectSeed uint64, ids []string) error {
-	scale, err := experiments.ScaleByName(scaleName)
+type runConfig struct {
+	scaleName   string
+	workers     int
+	inject      string
+	injectSeed  uint64
+	timeout     time.Duration
+	expTimeout  time.Duration
+	stall       time.Duration
+	retries     int
+	journalPath string
+	resume      bool
+}
+
+func run(cfg runConfig, ids []string) error {
+	scale, err := experiments.ScaleByName(cfg.scaleName)
 	if err != nil {
 		return err
 	}
@@ -102,25 +158,93 @@ func run(scaleName string, workers int, inject string, injectSeed uint64, ids []
 	}
 
 	session := experiments.NewSession(scale)
-	session.Workers = workers
-	session.FaultSeed = injectSeed
-	if inject != "" {
-		session.FaultClasses = strings.Split(inject, ",")
+	session.Workers = cfg.workers
+	session.FaultSeed = cfg.injectSeed
+	if cfg.inject != "" {
+		session.FaultClasses = strings.Split(cfg.inject, ",")
 	}
-	var failed []string
-	for _, e := range entries {
-		start := time.Now()
-		result, err := session.Run(e)
-		fmt.Printf("### %s — %s  (scale=%s, %.1fs)\n\n", e.ID, e.Title, scale.Name, time.Since(start).Seconds())
+
+	if cfg.journalPath != "" {
+		j, err := journal.Open(cfg.journalPath, session.ConfigFingerprint(), journal.Options{Resume: cfg.resume})
 		if err != nil {
-			failed = append(failed, e.ID)
-			fmt.Printf("FAILED: %v\n\n", err)
+			return err
+		}
+		// Close flushes and syncs whatever was recorded, however the
+		// campaign ends.
+		defer j.Close()
+		session.Journal = j
+		if n := j.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "vsmooth: resuming from %s (%d completed units)\n", j.Path(), n)
+		}
+	}
+
+	// Graceful shutdown: SIGINT/SIGTERM (and -timeout) cancel the root
+	// context; simulations unwind at their next run boundary, the journal
+	// keeps every unit completed so far, and completed figures render.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+
+	results, runErr := runner.RunBatch(ctx, session, entries, runner.Config{
+		Timeout:      cfg.expTimeout,
+		MaxAttempts:  cfg.retries,
+		StallTimeout: cfg.stall,
+		OnEvent:      printEvent,
+	})
+
+	var failed []string
+	for _, r := range results {
+		fmt.Printf("### %s — %s  (scale=%s, %.1fs, %d attempt(s))\n\n",
+			r.ID, r.Title, scale.Name, r.Elapsed.Seconds(), r.Attempts)
+		if r.Err != nil {
+			failed = append(failed, r.ID)
+			fmt.Printf("FAILED: %v\n\n", r.Err)
 			continue
 		}
-		fmt.Println(result.Render())
+		fmt.Println(r.Renderer.Render())
+	}
+
+	if runErr != nil {
+		hint := ""
+		if cfg.journalPath != "" {
+			hint = fmt.Sprintf("; rerun with -journal %s -resume to continue", cfg.journalPath)
+		}
+		return fmt.Errorf("campaign interrupted (%v)%s", runErr, hint)
 	}
 	if len(failed) > 0 {
 		return fmt.Errorf("%d experiment(s) failed: %s", len(failed), strings.Join(failed, ", "))
 	}
 	return nil
+}
+
+// printEvent narrates the batch on stderr: attempts, retries, failures.
+// Per-unit progress events are deliberately not printed — a full campaign
+// completes tens of thousands of units.
+func printEvent(ev runner.Event) {
+	switch ev.Kind {
+	case runner.EventStart:
+		if ev.Attempt > 1 {
+			fmt.Fprintf(os.Stderr, "vsmooth: %s: attempt %d\n", ev.ID, ev.Attempt)
+		}
+	case runner.EventRetry:
+		fmt.Fprintf(os.Stderr, "vsmooth: %s: attempt %d failed (%v), retrying in %s\n",
+			ev.ID, ev.Attempt, shortErr(ev.Err), ev.Backoff.Round(time.Millisecond))
+	case runner.EventDone:
+		if ev.Err != nil && !errors.Is(ev.Err, runner.ErrAborted) {
+			fmt.Fprintf(os.Stderr, "vsmooth: %s: failed after %d attempt(s)\n", ev.ID, ev.Attempt)
+		}
+	}
+}
+
+// shortErr trims an error to its first line (panic errors carry stacks).
+func shortErr(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"voltsmooth/internal/core"
 	"voltsmooth/internal/uarch"
 	"voltsmooth/internal/workload"
@@ -31,7 +32,7 @@ type Fig12Result struct {
 	Relative []float64
 }
 
-func runFig12(s *Session) Renderer { return Fig12(s) }
+func runFig12(ctx context.Context, s *Session) Renderer { return Fig12(s) }
 
 // Fig12 measures the five single-core microbenchmarks.
 func Fig12(s *Session) *Fig12Result {
@@ -84,7 +85,7 @@ type Fig13Result struct {
 	SingleMax float64
 }
 
-func runFig13(s *Session) Renderer { return Fig13(s) }
+func runFig13(ctx context.Context, s *Session) Renderer { return Fig13(s) }
 
 // Fig13 measures all event pairs.
 func Fig13(s *Session) *Fig13Result {

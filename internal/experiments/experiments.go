@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -20,16 +21,19 @@ type Renderer interface {
 	Render() string
 }
 
-// Entry describes one registered experiment.
+// Entry describes one registered experiment. Run observes ctx at its
+// natural phase boundaries (per run, per window, per quantum); a cancelled
+// context unwinds as an abort panic that Session.Run translates back into
+// the context's error.
 type Entry struct {
 	ID    string
 	Title string
-	Run   func(s *Session) Renderer
+	Run   func(ctx context.Context, s *Session) Renderer
 }
 
 var registry = map[string]Entry{}
 
-func register(id, title string, run func(s *Session) Renderer) {
+func register(id, title string, run func(ctx context.Context, s *Session) Renderer) {
 	if _, dup := registry[id]; dup {
 		panic("experiments: duplicate id " + id)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -129,7 +130,7 @@ func TestFig6DecapShape(t *testing.T) {
 }
 
 func TestFig7Distribution(t *testing.T) {
-	r := Fig7(session(t))
+	r := Fig7(context.Background(), session(t))
 	if r.MinDroopPc < 5 || r.MinDroopPc > 14 {
 		t.Errorf("min droop %.2f%%, paper 9.6%% (within the 14%% margin)", r.MinDroopPc)
 	}
@@ -147,7 +148,7 @@ func TestFig7Distribution(t *testing.T) {
 }
 
 func TestFig8ResilientDesignSpace(t *testing.T) {
-	r := Fig8(session(t), pdn.Proc100)
+	r := Fig8(context.Background(), session(t), pdn.Proc100)
 	// Optimal margin relaxes and improvement shrinks as cost grows.
 	for i := 1; i < len(r.Optima); i++ {
 		if r.Optima[i].Margin < r.Optima[i-1].Margin {
@@ -175,7 +176,7 @@ func TestFig8ResilientDesignSpace(t *testing.T) {
 }
 
 func TestFig9FutureNodesNoisier(t *testing.T) {
-	r := Fig9(session(t))
+	r := Fig9(context.Background(), session(t))
 	p100, p3 := r.Rows[0], r.Rows[2]
 	if p3.FracBeyond4Pc < 2*p100.FracBeyond4Pc {
 		t.Errorf("Proc3 tail %.3f%% not ≫ Proc100 %.3f%%",
@@ -187,7 +188,7 @@ func TestFig9FutureNodesNoisier(t *testing.T) {
 }
 
 func TestFig10PocketShrinks(t *testing.T) {
-	r := Fig10(session(t))
+	r := Fig10(context.Background(), session(t))
 	// The improvement at a mid margin and mid cost degrades on the
 	// future nodes (the blue pocket shrinking from Fig 10a to 10c).
 	atMid := func(v int) float64 { return r.ImprovementAt(v, 1000, 0.05) }
@@ -303,7 +304,7 @@ func TestFig15StallCorrelation(t *testing.T) {
 }
 
 func TestFig16InterferenceKinds(t *testing.T) {
-	r := Fig16(session(t))
+	r := Fig16(context.Background(), session(t))
 	con, des := r.Count(sched.Constructive), r.Count(sched.Destructive)
 	if con == 0 {
 		t.Error("no constructive-interference windows (paper: droops nearly double)")
@@ -337,7 +338,7 @@ func TestFig16InterferenceKinds(t *testing.T) {
 }
 
 func TestFig17DestructiveOpportunity(t *testing.T) {
-	r := Fig17(session(t))
+	r := Fig17(context.Background(), session(t))
 	if r.DestructiveCount*2 < len(r.Rows) {
 		t.Errorf("only %d of %d benchmarks have destructive co-schedules; paper: most",
 			r.DestructiveCount, len(r.Rows))
@@ -350,7 +351,7 @@ func TestFig17DestructiveOpportunity(t *testing.T) {
 }
 
 func TestFig18PolicyQuadrants(t *testing.T) {
-	r := Fig18(session(t))
+	r := Fig18(context.Background(), session(t))
 	cd, _ := r.RandomCentroid()
 	// Droop policy produces the fewest normalized droops.
 	if r.Droop.Droops >= r.IPC.Droops {
@@ -377,7 +378,7 @@ func TestFig18PolicyQuadrants(t *testing.T) {
 }
 
 func TestTab1Fig19Passing(t *testing.T) {
-	r := Tab1Fig19(session(t))
+	r := Tab1Fig19(context.Background(), session(t))
 	if len(r.Analyses) != 6 {
 		t.Fatalf("%d cost rows", len(r.Analyses))
 	}
@@ -418,7 +419,7 @@ func TestTab1Fig19Passing(t *testing.T) {
 func TestRenderersProduceTables(t *testing.T) {
 	s := session(t)
 	for _, e := range All() {
-		out := e.Run(s).Render()
+		out := e.Run(context.Background(), s).Render()
 		if !strings.Contains(out, "==") || len(out) < 80 {
 			t.Errorf("%s renders suspiciously little output (%d bytes)", e.ID, len(out))
 		}
@@ -427,13 +428,13 @@ func TestRenderersProduceTables(t *testing.T) {
 
 func TestSessionCachesCorpora(t *testing.T) {
 	s := session(t)
-	a := s.Corpus(pdn.Proc100)
-	b := s.Corpus(pdn.Proc100)
+	a := s.Corpus(context.Background(), pdn.Proc100)
+	b := s.Corpus(context.Background(), pdn.Proc100)
 	if a != b {
 		t.Error("corpus not cached")
 	}
-	ta := s.PairTable(pdn.Proc3)
-	tb := s.PairTable(pdn.Proc3)
+	ta := s.PairTable(context.Background(), pdn.Proc3)
+	tb := s.PairTable(context.Background(), pdn.Proc3)
 	if ta != tb {
 		t.Error("pair table not cached")
 	}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"voltsmooth/internal/core"
+	"voltsmooth/internal/parallel"
 	"voltsmooth/internal/pdn"
 	"voltsmooth/internal/resilient"
 	"voltsmooth/internal/sched"
@@ -25,10 +27,10 @@ type Ext1Result struct {
 	Results []sched.OnlineResult
 }
 
-func runExt1(s *Session) Renderer { return Ext1(s) }
+func runExt1(ctx context.Context, s *Session) Renderer { return Ext1(ctx, s) }
 
 // Ext1 runs the same job set to completion under each online policy.
-func Ext1(s *Session) *Ext1Result {
+func Ext1(ctx context.Context, s *Session) *Ext1Result {
 	cfg := sched.DefaultOnlineConfig(s.ChipConfig(schedVariant), s.Margin(schedVariant))
 	cfg.QuantumCycles = s.Scale.IntervalCycles
 
@@ -47,7 +49,11 @@ func Ext1(s *Session) *Ext1Result {
 		sched.NewRandomOnlinePolicy(1),
 		sched.NewRandomOnlinePolicy(2),
 	} {
-		r.Results = append(r.Results, sched.RunOnline(cfg, jobs(), pol))
+		res, err := sched.RunOnlineCtx(ctx, cfg, jobs(), pol)
+		if err != nil {
+			panic(&parallel.AbortError{Err: err})
+		}
+		r.Results = append(r.Results, res)
 	}
 	return r
 }
@@ -108,7 +114,7 @@ type Ext2Row struct {
 	SplitDroopsPerKc  float64
 }
 
-func runExt2(s *Session) Renderer { return Ext2(s) }
+func runExt2(ctx context.Context, s *Session) Renderer { return Ext2(s) }
 
 // Ext2 measures representative pairs on both designs.
 func Ext2(s *Session) *Ext2Result {
@@ -182,12 +188,12 @@ type Ext3Result struct {
 	BestN []float64
 }
 
-func runExt3(s *Session) Renderer { return Ext3(s) }
+func runExt3(ctx context.Context, s *Session) Renderer { return Ext3(ctx, s) }
 
 // Ext3 sweeps the hybrid exponent.
-func Ext3(s *Session) *Ext3Result {
-	t := s.PairTable(schedVariant)
-	corpus := s.Corpus(schedVariant)
+func Ext3(ctx context.Context, s *Session) *Ext3Result {
+	t := s.PairTable(ctx, schedVariant)
+	corpus := s.Corpus(ctx, schedVariant)
 	model := resilient.DefaultModel()
 	margins := core.DefaultMargins()
 

@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 )
 
 func TestExt1OnlineSchedulerWins(t *testing.T) {
-	r := Ext1(session(t))
+	r := Ext1(context.Background(), session(t))
 	if len(r.Results) < 4 {
 		t.Fatalf("%d policy runs", len(r.Results))
 	}
@@ -58,7 +59,7 @@ func TestExt2SplitSupplyNoisier(t *testing.T) {
 }
 
 func TestExt3HybridSweepShape(t *testing.T) {
-	r := Ext3(session(t))
+	r := Ext3(context.Background(), session(t))
 	if len(r.Ns) != len(r.Evals) || len(r.Pass) != len(r.Ns) {
 		t.Fatal("malformed sweep")
 	}

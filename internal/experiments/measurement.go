@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"voltsmooth/internal/core"
@@ -30,7 +31,7 @@ type Fig4Result struct {
 	RedRatio1MHz float64 // reduced/full |Z| at 1 MHz (paper: ~5x)
 }
 
-func runFig4(s *Session) Renderer { return Fig4(s) }
+func runFig4(ctx context.Context, s *Session) Renderer { return Fig4(s) }
 
 // Fig4 sweeps the impedance profile.
 func Fig4(s *Session) *Fig4Result {
@@ -82,7 +83,7 @@ type Fig6Result struct {
 	Responses []pdn.ResetResponse
 }
 
-func runFig6(s *Session) Renderer { return Fig6(s) }
+func runFig6(ctx context.Context, s *Session) Renderer { return Fig6(s) }
 
 // Fig6 runs the decap-removal reset experiment.
 func Fig6(*Session) *Fig6Result {
@@ -124,7 +125,7 @@ type Fig11Result struct {
 	RipplePeriods float64
 }
 
-func runFig11(s *Session) Renderer { return Fig11(s) }
+func runFig11(ctx context.Context, s *Session) Renderer { return Fig11(s) }
 
 // Fig11 captures the waveform.
 func Fig11(s *Session) *Fig11Result {

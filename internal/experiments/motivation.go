@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"voltsmooth/internal/technode"
 )
 
@@ -15,7 +16,7 @@ type Fig1Result struct {
 	Projections []technode.SwingProjection
 }
 
-func runFig1(s *Session) Renderer { return Fig1(s) }
+func runFig1(ctx context.Context, s *Session) Renderer { return Fig1(s) }
 
 // Fig1 runs the projection experiment.
 func Fig1(*Session) *Fig1Result {
@@ -44,7 +45,7 @@ type Fig2Result struct {
 	Curves []technode.MarginCurve
 }
 
-func runFig2(s *Session) Renderer { return Fig2(s) }
+func runFig2(ctx context.Context, s *Session) Renderer { return Fig2(s) }
 
 // Fig2 runs the ring-oscillator margin sweep for the four plotted nodes.
 func Fig2(*Session) *Fig2Result {

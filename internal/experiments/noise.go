@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"voltsmooth/internal/core"
 	"voltsmooth/internal/pdn"
 	"voltsmooth/internal/resilient"
@@ -30,11 +32,11 @@ type Fig7Result struct {
 	CDF           []stats.CDFPoint
 }
 
-func runFig7(s *Session) Renderer { return Fig7(s) }
+func runFig7(ctx context.Context, s *Session) Renderer { return Fig7(ctx, s) }
 
 // Fig7 aggregates the corpus CDF.
-func Fig7(s *Session) *Fig7Result {
-	c := s.Corpus(pdn.Proc100)
+func Fig7(ctx context.Context, s *Session) *Fig7Result {
+	c := s.Corpus(ctx, pdn.Proc100)
 	return &Fig7Result{
 		Variant:       c.Variant,
 		Runs:          len(c.Runs),
@@ -96,11 +98,11 @@ type Fig8Result struct {
 	DeadZones   [][]float64
 }
 
-func runFig8(s *Session) Renderer { return Fig8(s, pdn.Proc100) }
+func runFig8(ctx context.Context, s *Session) Renderer { return Fig8(ctx, s, pdn.Proc100) }
 
 // Fig8 sweeps the typical-case model over the corpus of a variant.
-func Fig8(s *Session, v pdn.ProcVariant) *Fig8Result {
-	c := s.Corpus(v)
+func Fig8(ctx context.Context, s *Session, v pdn.ProcVariant) *Fig8Result {
+	c := s.Corpus(ctx, v)
 	model := resilient.DefaultModel()
 	margins := core.DefaultMargins()
 	r := &Fig8Result{Variant: v, Margins: margins, Costs: recoveryCosts}
@@ -162,13 +164,13 @@ type Fig9Row struct {
 	FracBeyond4Pc float64
 }
 
-func runFig9(s *Session) Renderer { return Fig9(s) }
+func runFig9(ctx context.Context, s *Session) Renderer { return Fig9(ctx, s) }
 
 // Fig9 compares Proc100/Proc25/Proc3 distributions.
-func Fig9(s *Session) *Fig9Result {
+func Fig9(ctx context.Context, s *Session) *Fig9Result {
 	r := &Fig9Result{}
 	for _, v := range []pdn.ProcVariant{pdn.Proc100, pdn.Proc25, pdn.Proc3} {
-		c := s.Corpus(v)
+		c := s.Corpus(ctx, v)
 		r.Rows = append(r.Rows, Fig9Row{
 			Variant:       v,
 			MinDroopPc:    c.Merged.MinDroopPercent(),
@@ -204,15 +206,15 @@ type Fig10Result struct {
 	Heat [][][]float64
 }
 
-func runFig10(s *Session) Renderer { return Fig10(s) }
+func runFig10(ctx context.Context, s *Session) Renderer { return Fig10(ctx, s) }
 
 // Fig10 computes all three heatmaps.
-func Fig10(s *Session) *Fig10Result {
+func Fig10(ctx context.Context, s *Session) *Fig10Result {
 	model := resilient.DefaultModel()
 	margins := core.DefaultMargins()
 	r := &Fig10Result{Margins: margins, Costs: recoveryCosts}
 	for _, v := range []pdn.ProcVariant{pdn.Proc100, pdn.Proc25, pdn.Proc3} {
-		c := s.Corpus(v)
+		c := s.Corpus(ctx, v)
 		r.Variants = append(r.Variants, v)
 		r.Heat = append(r.Heat, model.Heatmap(c.Runs, margins, recoveryCosts))
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"voltsmooth/internal/core"
 	"voltsmooth/internal/pdn"
 	"voltsmooth/internal/phase"
@@ -24,7 +25,7 @@ type Fig14Result struct {
 	Summaries      []phase.Summary
 }
 
-func runFig14(s *Session) Renderer { return Fig14(s) }
+func runFig14(ctx context.Context, s *Session) Renderer { return Fig14(s) }
 
 // Fig14 records the three phase traces.
 func Fig14(s *Session) *Fig14Result {
@@ -105,7 +106,7 @@ type Fig15Result struct {
 	Pearson     float64
 }
 
-func runFig15(s *Session) Renderer { return Fig15(s) }
+func runFig15(ctx context.Context, s *Session) Renderer { return Fig15(s) }
 
 // Fig15 measures the first measurement window of every benchmark, as the
 // paper does ("a 60-second execution window ... from the beginning of

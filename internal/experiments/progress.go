@@ -1,0 +1,28 @@
+package experiments
+
+import "context"
+
+// progressKey carries the per-attempt progress callback in a context.
+type progressKey struct{}
+
+// WithProgress returns a context whose measurement work reports each
+// completed unit (a corpus run, an oracle cell, a recovery schedule) to fn
+// with a short label. The batch runner's stall watchdog is the intended
+// consumer; the callback rides the context — not the shared Session — so
+// progress is attributed to the attempt that made it, and a cancelled
+// attempt's late units cannot keep its successor's watchdog fed.
+//
+// fn may be called concurrently from sweep workers and must be fast: it
+// runs between simulations on the measurement path.
+func WithProgress(ctx context.Context, fn func(unit string)) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// ProgressFrom extracts the context's progress callback, returning a no-op
+// when none is set.
+func ProgressFrom(ctx context.Context) func(unit string) {
+	if fn, ok := ctx.Value(progressKey{}).(func(unit string)); ok && fn != nil {
+		return fn
+	}
+	return func(string) {}
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -109,7 +111,7 @@ func MeanAbsDelta(rows []RecoveryRow) float64 {
 	return sum / float64(len(rows))
 }
 
-func runRecovery(s *Session) Renderer { return Recovery(s) }
+func runRecovery(ctx context.Context, s *Session) Renderer { return Recovery(ctx, s) }
 
 // recoverySchedules lists the schedules cross-validated: a few singles and
 // pairs spanning the suite's noise corners.
@@ -155,8 +157,9 @@ func (s *Session) faultPlan() failsafe.Plan {
 }
 
 // Recovery executes the cross-validation.
-func Recovery(s *Session) *RecoveryResult {
+func Recovery(ctx context.Context, s *Session) *RecoveryResult {
 	chip := s.ChipConfig(schedVariant)
+	progress := ProgressFrom(ctx)
 	margin := s.Margin(schedVariant)
 	model := resilient.DefaultModel()
 	schedules := s.recoverySchedules()
@@ -190,7 +193,7 @@ func Recovery(s *Session) *RecoveryResult {
 		fault       FaultRow
 	}
 	rows := make([]rowSet, len(schedules))
-	parallel.Sweep(s.Workers, len(schedules), func(i int) {
+	if err := parallel.SweepCtx(ctx, s.Workers, len(schedules), func(i int) {
 		ps := schedules[i]
 		n := name(ps)
 
@@ -212,8 +215,11 @@ func Recovery(s *Session) *RecoveryResult {
 				WarmupCycles:  s.Scale.WarmupCycles,
 				Faults:        plan,
 			}
-			res, err := failsafe.Run(cfg, streams(ps), useful)
+			res, err := failsafe.RunCtx(ctx, cfg, streams(ps), useful)
 			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					panic(&parallel.AbortError{Err: err})
+				}
 				panic(fmt.Sprintf("experiments: failsafe run %s: %v", n, err))
 			}
 			return res
@@ -246,7 +252,10 @@ func Recovery(s *Session) *RecoveryResult {
 			DroppedSamples: faulted.DroppedSamples,
 			InjectedSpikes: faulted.InjectedSpikes,
 		}
-	})
+		progress("recovery/" + n)
+	}); err != nil {
+		panic(&parallel.AbortError{Err: err})
+	}
 	for _, rs := range rows {
 		r.RazorRows = append(r.RazorRows, rs.razor)
 		r.CkptRows = append(r.CkptRows, rs.ckpt)
@@ -262,7 +271,11 @@ func Recovery(s *Session) *RecoveryResult {
 	for _, p := range s.SpecProfiles()[:4] {
 		jobs = append(jobs, sched.NewJob(p, uint64(10*s.Scale.IntervalCycles)))
 	}
-	r.Online = sched.RunOnlineResilient(ocfg, jobs, sched.StallClusterPolicy{}, failsafe.NewInjector(r.Plan))
+	online, err := sched.RunOnlineResilientCtx(ctx, ocfg, jobs, sched.StallClusterPolicy{}, failsafe.NewInjector(r.Plan))
+	if err != nil {
+		panic(&parallel.AbortError{Err: err})
+	}
+	r.Online = online
 
 	return r
 }

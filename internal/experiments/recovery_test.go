@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -21,7 +23,7 @@ func TestRecoveryCrossValidation(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		s := NewSession(Tiny())
 		s.Workers = workers
-		r := Recovery(s)
+		r := Recovery(context.Background(), s)
 		results[workers] = r
 		renders[workers] = r.Render()
 	}
@@ -76,7 +78,7 @@ func TestRecoveryFaultRunsComplete(t *testing.T) {
 	}
 	s := NewSession(Tiny())
 	s.Workers = 2
-	r := Recovery(s)
+	r := Recovery(context.Background(), s)
 
 	for _, row := range r.FaultRows {
 		if row.Err != "" {
@@ -108,7 +110,7 @@ func TestRecoveryRender(t *testing.T) {
 		t.Skip("recovery cross-validation is slow")
 	}
 	s := NewSession(Tiny())
-	out := Recovery(s).Render()
+	out := Recovery(context.Background(), s).Render()
 	for _, want := range []string{"executed Razor recovery", "checkpoint recovery", "fault-injection", "degraded quanta", "mean |delta|"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q", want)
@@ -118,16 +120,22 @@ func TestRecoveryRender(t *testing.T) {
 
 func TestSessionRunRecoversPanics(t *testing.T) {
 	s := NewSession(Tiny())
-	bad := Entry{ID: "boom", Title: "panics", Run: func(*Session) Renderer { panic("kaboom") }}
-	r, err := s.Run(bad)
+	bad := Entry{ID: "boom", Title: "panics", Run: func(context.Context, *Session) Renderer { panic("kaboom") }}
+	r, err := s.Run(context.Background(), bad)
 	if r != nil {
 		t.Error("panicking runner returned a renderer")
 	}
 	if err == nil || !strings.Contains(err.Error(), "kaboom") {
 		t.Errorf("panic not surfaced as error: %v", err)
 	}
-	ok := Entry{ID: "fine", Title: "works", Run: func(*Session) Renderer { return Tables{} }}
-	if _, err := s.Run(ok); err != nil {
+	if err != nil && !strings.Contains(err.Error(), "recovery_test.go") {
+		t.Errorf("panic error carries no originating stack trace: %v", err)
+	}
+	if !errors.Is(err, ErrExperimentPanicked) {
+		t.Errorf("panic error does not wrap ErrExperimentPanicked: %v", err)
+	}
+	ok := Entry{ID: "fine", Title: "works", Run: func(context.Context, *Session) Renderer { return Tables{} }}
+	if _, err := s.Run(context.Background(), ok); err != nil {
 		t.Errorf("healthy runner errored: %v", err)
 	}
 }

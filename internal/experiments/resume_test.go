@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"voltsmooth/internal/journal"
+	"voltsmooth/internal/pdn"
+)
+
+// resumeEntries are the two journal-backed builds the resume property
+// exercises: fig7 consumes the Proc100 corpus and fig17 the Proc3 oracle
+// pair table, so together they cover every record kind the journal holds
+// (corpus runs, single-run cells, pair cells).
+func resumeEntries(t *testing.T) []Entry {
+	t.Helper()
+	entries := make([]Entry, 0, 2)
+	for _, id := range []string{"fig7", "fig17"} {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+func newJournaledSession(t *testing.T, path string, resume bool) *Session {
+	t.Helper()
+	s := NewSession(Tiny())
+	s.Workers = 4
+	j, err := journal.Open(path, s.ConfigFingerprint(), journal.Options{Resume: resume})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Journal = j
+	t.Cleanup(func() { j.Close() })
+	return s
+}
+
+// TestResumeAfterSeededKillIsBitIdentical is the checkpoint layer's
+// end-to-end property: a campaign killed at a seeded-random journal
+// boundary and resumed by a fresh session produces output bit-identical
+// to an uninterrupted run, for both the corpus build and the pair-table
+// build. In -short mode it runs one interrupt+resume cycle as the CI
+// smoke; the full mode draws one kill from the corpus half and one from
+// the table half of the journal.
+func TestResumeAfterSeededKillIsBitIdentical(t *testing.T) {
+	entries := resumeEntries(t)
+	ctx := context.Background()
+
+	// Uninterrupted journal-free reference: the ground truth.
+	ref := NewSession(Tiny())
+	ref.Workers = 4
+	want := make([]string, len(entries))
+	for i, e := range entries {
+		r, err := ref.Run(ctx, e)
+		if err != nil {
+			t.Fatalf("reference %s: %v", e.ID, err)
+		}
+		want[i] = r.Render()
+	}
+
+	// A journaled full run must already match it bit for bit (the JSON
+	// round trip is exact), and tells us how many units a campaign
+	// records — the space the kill boundary is drawn from.
+	full := newJournaledSession(t, filepath.Join(t.TempDir(), "full.jsonl"), false)
+	for i, e := range entries {
+		r, err := full.Run(ctx, e)
+		if err != nil {
+			t.Fatalf("journaled %s: %v", e.ID, err)
+		}
+		if got := r.Render(); got != want[i] {
+			t.Fatalf("%s: journaled run differs from journal-free run", e.ID)
+		}
+	}
+	units := full.Journal.Len()
+	if units < 20 {
+		t.Fatalf("campaign journaled only %d units; kill boundaries need room", units)
+	}
+
+	// One seeded draw from the first half (mid-corpus) and one from the
+	// second (mid-table), staying clear of the tail: in-flight workers
+	// finish the unit they hold after the cancel, so a kill too close to
+	// the end can complete the campaign anyway and prove nothing.
+	rng := rand.New(rand.NewSource(20260805))
+	kills := []int{
+		1 + rng.Intn(units/2-4),
+		units/2 + rng.Intn(units/2-8),
+	}
+	if testing.Short() {
+		kills = kills[:1]
+	}
+
+	for _, kill := range kills {
+		t.Run(fmt.Sprintf("kill@%d", kill), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "campaign.jsonl")
+
+			// Phase 1: run until the kill-th journal append, then cancel
+			// the root context — the SIGINT path without the signal.
+			kctx, cancel := context.WithCancel(ctx)
+			defer cancel()
+			s1 := newJournaledSession(t, path, false)
+			s1.Journal.OnRecord = func(n int, _ string) {
+				if n == kill {
+					cancel()
+				}
+			}
+			interrupted := false
+			for _, e := range entries {
+				if _, err := s1.Run(kctx, e); err != nil {
+					if !errors.Is(err, context.Canceled) {
+						t.Fatalf("%s: interrupted run failed with a non-cancellation error: %v", e.ID, err)
+					}
+					interrupted = true
+				}
+			}
+			if !interrupted {
+				t.Fatalf("kill at unit %d interrupted nothing", kill)
+			}
+			if err := s1.Journal.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if n := s1.Journal.Len(); n >= units {
+				t.Fatalf("kill at %d still journaled all %d units; the resume below would be vacuous", kill, units)
+			}
+
+			// Phase 2: a fresh session (a new process, as far as the
+			// journal can tell) resumes the same file and must finish
+			// with output bit-identical to the uninterrupted run.
+			s2 := newJournaledSession(t, path, true)
+			if s2.Journal.Len() == 0 {
+				t.Fatal("resume loaded no completed units")
+			}
+			for i, e := range entries {
+				r, err := s2.Run(ctx, e)
+				if err != nil {
+					t.Fatalf("resumed %s: %v", e.ID, err)
+				}
+				if got := r.Render(); got != want[i] {
+					t.Errorf("%s: resumed output differs from uninterrupted run\nresumed:\n%s\nwant:\n%s",
+						e.ID, got, want[i])
+				}
+			}
+			if n := s2.Journal.Len(); n != units {
+				t.Errorf("resumed campaign holds %d units, uninterrupted campaign %d", n, units)
+			}
+
+			// The replayed corpus must match the reference in every bit,
+			// not just in what Render prints.
+			if !reflect.DeepEqual(s2.Corpus(ctx, pdn.Proc100), ref.Corpus(ctx, pdn.Proc100)) {
+				t.Error("resumed Proc100 corpus differs structurally from the reference build")
+			}
+		})
+	}
+}
+
+// TestResumeRejectsStaleJournal pins the safety half of the contract: a
+// journal recorded under a different configuration can never leak units
+// into the current campaign.
+func TestResumeRejectsStaleJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stale.jsonl")
+	s := NewSession(Tiny())
+	j, err := journal.Open(path, s.ConfigFingerprint(), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("corpus/Proc100/x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	other := NewSession(Tiny())
+	other.FaultSeed = 42 // any config drift must change the fingerprint
+	if _, err := journal.Open(path, other.ConfigFingerprint(), journal.Options{Resume: true}); !errors.Is(err, journal.ErrStale) {
+		t.Errorf("stale journal accepted under a drifted config: %v", err)
+	}
+}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"voltsmooth/internal/core"
+	"voltsmooth/internal/parallel"
 	"voltsmooth/internal/pdn"
 	"voltsmooth/internal/resilient"
 	"voltsmooth/internal/sched"
@@ -30,7 +32,7 @@ type Fig16Result struct {
 	Kinds  []sched.InterferenceKind
 }
 
-func runFig16(s *Session) Renderer { return Fig16(s) }
+func runFig16(ctx context.Context, s *Session) Renderer { return Fig16(ctx, s) }
 
 // fig16Margin is the emergency threshold for the sliding-window study:
 // shallow enough that crossings are dense and the co-scheduled count is
@@ -41,13 +43,16 @@ func runFig16(s *Session) Renderer { return Fig16(s) }
 const fig16Margin = 0.015
 
 // Fig16 runs the sliding-window experiment.
-func Fig16(s *Session) *Fig16Result {
+func Fig16(ctx context.Context, s *Session) *Fig16Result {
 	x, err := workload.ByName("astar")
 	if err != nil {
 		panic(err)
 	}
-	w := sched.SlidingWindow(s.ChipConfig(schedVariant), x, x,
+	w, err := sched.SlidingWindowCtx(ctx, s.ChipConfig(schedVariant), x, x,
 		s.Scale.WindowCycles, s.Scale.Windows, fig16Margin)
+	if err != nil {
+		panic(&parallel.AbortError{Err: err})
+	}
 	return &Fig16Result{Window: w, Kinds: w.Classify(0.25)}
 }
 
@@ -88,11 +93,11 @@ type Fig17Result struct {
 	DestructiveCount int
 }
 
-func runFig17(s *Session) Renderer { return Fig17(s) }
+func runFig17(ctx context.Context, s *Session) Renderer { return Fig17(ctx, s) }
 
 // Fig17 derives the spread from the oracle table.
-func Fig17(s *Session) *Fig17Result {
-	t := s.PairTable(schedVariant)
+func Fig17(ctx context.Context, s *Session) *Fig17Result {
+	t := s.PairTable(ctx, schedVariant)
 	r := &Fig17Result{Rows: t.CoScheduleSpread()}
 	for i := range r.Rows {
 		if t.HasDestructiveInterference(i) {
@@ -130,11 +135,11 @@ type Fig18Result struct {
 	Random []sched.BatchEval
 }
 
-func runFig18(s *Session) Renderer { return Fig18(s) }
+func runFig18(ctx context.Context, s *Session) Renderer { return Fig18(ctx, s) }
 
 // Fig18 builds and evaluates all batches.
-func Fig18(s *Session) *Fig18Result {
-	t := s.PairTable(schedVariant)
+func Fig18(ctx context.Context, s *Session) *Fig18Result {
+	t := s.PairTable(ctx, schedVariant)
 	cfg := sched.DefaultBatchConfig(t.Size())
 	r := &Fig18Result{
 		Droop: sched.EvaluateBatch(t, sched.BuildBatch(t, sched.DroopPolicy{}, cfg)),
@@ -144,7 +149,11 @@ func Fig18(s *Session) *Fig18Result {
 		r.Hybrid = append(r.Hybrid,
 			sched.EvaluateBatch(t, sched.BuildBatch(t, sched.HybridPolicy{N: n}, cfg)))
 	}
-	r.Random = sched.RandomEvals(t, cfg, s.Scale.RandomBatches, 0x5EED, s.Workers)
+	random, err := sched.RandomEvalsCtx(ctx, t, cfg, s.Scale.RandomBatches, 0x5EED, s.Workers)
+	if err != nil {
+		panic(&parallel.AbortError{Err: err})
+	}
+	r.Random = random
 	return r
 }
 
@@ -217,21 +226,25 @@ type Tab1Fig19Result struct {
 	Policies []string
 }
 
-func runTab1(s *Session) Renderer  { return Tab1Fig19(s) }
-func runFig19(s *Session) Renderer { return Tab1Fig19(s) }
+func runTab1(ctx context.Context, s *Session) Renderer  { return Tab1Fig19(ctx, s) }
+func runFig19(ctx context.Context, s *Session) Renderer { return Tab1Fig19(ctx, s) }
 
 // Tab1Fig19 runs the passing analysis on the Proc3 oracle, using the
 // Proc3 corpus as the expectation-setting population (the paper's 881
 // workloads). The result is memoized on the session alongside the corpora
 // and tables: tab1 and fig19 are two renderings of one analysis, so
 // `vsmooth run all` computes it once.
-func Tab1Fig19(s *Session) *Tab1Fig19Result {
-	return s.passing.Do(schedVariant.Name, func() *Tab1Fig19Result { return tab1Fig19(s) })
+func Tab1Fig19(ctx context.Context, s *Session) *Tab1Fig19Result {
+	r, err := s.passing.DoCtx(ctx, schedVariant.Name, func() *Tab1Fig19Result { return tab1Fig19(ctx, s) })
+	if err != nil {
+		panic(&parallel.AbortError{Err: err})
+	}
+	return r
 }
 
-func tab1Fig19(s *Session) *Tab1Fig19Result {
-	t := s.PairTable(schedVariant)
-	corpus := s.Corpus(schedVariant)
+func tab1Fig19(ctx context.Context, s *Session) *Tab1Fig19Result {
+	t := s.PairTable(ctx, schedVariant)
+	corpus := s.Corpus(ctx, schedVariant)
 	cfg := sched.PassConfig{
 		Model:        resilient.DefaultModel(),
 		Margins:      core.DefaultMargins(),

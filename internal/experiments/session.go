@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"voltsmooth/internal/core"
+	"voltsmooth/internal/journal"
 	"voltsmooth/internal/parallel"
 	"voltsmooth/internal/pdn"
 	"voltsmooth/internal/resilient"
@@ -37,6 +40,13 @@ type Session struct {
 	FaultClasses []string
 	FaultSeed    uint64
 
+	// Journal, when non-nil, checkpoints every completed corpus run and
+	// oracle-table cell as it finishes and replays them on the next build,
+	// so an interrupted campaign resumes from its last completed unit.
+	// Open it against ConfigFingerprint(): the journal layer rejects a
+	// file recorded under any other configuration.
+	Journal *journal.Journal
+
 	corpora parallel.Group[string, *Corpus]
 	tables  parallel.Group[string, *sched.PairTable]
 	passing parallel.Group[string, *Tab1Fig19Result]
@@ -54,14 +64,45 @@ var ErrExperimentPanicked = errors.New("experiments: runner panicked")
 // the runner (experiment internals panic on impossible configurations)
 // comes back as a typed error instead of killing the whole batch, so
 // cmd/vsmooth can report one failed figure and keep rendering the rest.
-func (s *Session) Run(e Entry) (r Renderer, err error) {
+//
+// Two panic classes are distinguished. A cooperative abort (the ctx was
+// cancelled and a sweep unwound with *parallel.AbortError) returns an
+// error wrapping the context's error — errors.Is(err, context.Canceled)
+// holds — with no stack, because nothing crashed. Every other panic
+// returns ErrExperimentPanicked carrying the originating goroutine's
+// stack trace (the sweep engine's, when a worker panicked; this one's
+// otherwise), so a failed figure in a long campaign is diagnosable from
+// the report alone.
+func (s *Session) Run(ctx context.Context, e Entry) (r Renderer, err error) {
 	defer func() {
-		if p := recover(); p != nil {
-			r = nil
-			err = fmt.Errorf("%w: %s: %v", ErrExperimentPanicked, e.ID, p)
+		p := recover()
+		if p == nil {
+			return
 		}
+		r = nil
+		if cause := parallel.AbortCause(p); cause != nil {
+			err = fmt.Errorf("experiments: %s aborted: %w", e.ID, cause)
+			return
+		}
+		stack := debug.Stack()
+		if pe, ok := p.(*parallel.PanicError); ok {
+			p, stack = pe.Value, pe.Stack
+		}
+		err = fmt.Errorf("%w: %s: %v\n%s", ErrExperimentPanicked, e.ID, p, stack)
 	}()
-	return e.Run(s), nil
+	return e.Run(ctx, s), nil
+}
+
+// ConfigFingerprint digests everything that determines the session's
+// measured output — the scale and the fault plan — for journal pinning.
+// Workers is deliberately excluded: every sweep is bit-identical at any
+// width, so a resumed campaign may change its fan-out freely.
+func (s *Session) ConfigFingerprint() string {
+	return journal.ConfigHash(struct {
+		Scale        Scale    `json:"scale"`
+		FaultClasses []string `json:"fault_classes"`
+		FaultSeed    uint64   `json:"fault_seed"`
+	}{s.Scale, s.FaultClasses, s.FaultSeed})
 }
 
 // ChipConfig returns the chip configuration for a decap variant.
@@ -111,9 +152,15 @@ type Corpus struct {
 	SingleThreaded, MultiThreaded, MultiProgram int
 }
 
-// Corpus builds (or returns the cached) corpus for a variant.
-func (s *Session) Corpus(v pdn.ProcVariant) *Corpus {
-	return s.corpora.Do(v.Name, func() *Corpus { return s.buildCorpus(v) })
+// Corpus builds (or returns the cached) corpus for a variant. A cancelled
+// ctx unwinds as an abort panic at the next run boundary; Session.Run is
+// the recovery boundary that turns it back into the context's error.
+func (s *Session) Corpus(ctx context.Context, v pdn.ProcVariant) *Corpus {
+	c, err := s.corpora.DoCtx(ctx, v.Name, func() *Corpus { return s.buildCorpus(ctx, v) })
+	if err != nil {
+		panic(&parallel.AbortError{Err: err})
+	}
+	return c
 }
 
 // runKind tags corpus runs for the per-kind counters.
@@ -172,15 +219,45 @@ func (s *Session) corpusJobs(cfg uarch.Config) []corpusJob {
 	return jobs
 }
 
-func (s *Session) buildCorpus(v pdn.ProcVariant) *Corpus {
+// corpusRecord is the journal payload of one completed corpus run:
+// exactly the fields the corpus fold consumes, so a run replayed from the
+// journal contributes bit-identically to a run just measured.
+type corpusRecord struct {
+	Cycles uint64       `json:"cycles"`
+	Scope  *sense.Scope `json:"scope"`
+}
+
+func (s *Session) buildCorpus(ctx context.Context, v pdn.ProcVariant) *Corpus {
 	cfg := s.ChipConfig(v)
 	jobs := s.corpusJobs(cfg)
+	progress := ProgressFrom(ctx)
 
 	// Measure in parallel (each job is an independent seeded simulation),
 	// then fold serially in job order so the merged scope and run list
-	// match the serial build exactly.
-	results := make([]core.Result, len(jobs))
-	parallel.Sweep(s.Workers, len(jobs), func(i int) { results[i] = jobs[i].run() })
+	// match the serial build exactly. Completed runs are checkpointed to
+	// the session journal as they finish and replayed from it on resume.
+	results := make([]corpusRecord, len(jobs))
+	if err := parallel.SweepCtx(ctx, s.Workers, len(jobs), func(i int) {
+		key := "corpus/" + v.Name + "/" + jobs[i].name
+		if s.Journal != nil && s.Journal.LookupInto(key, &results[i]) {
+			progress(key)
+			return
+		}
+		res := jobs[i].run()
+		results[i] = corpusRecord{Cycles: res.Cycles, Scope: res.Scope}
+		if s.Journal != nil {
+			// A failed journal write unwinds as an abort with a
+			// non-cancellation cause: the batch runner classifies it as
+			// permanent (a full disk does not heal on retry) rather than
+			// as a crash.
+			if err := s.Journal.Record(key, results[i]); err != nil {
+				panic(&parallel.AbortError{Err: fmt.Errorf("experiments: journal %s: %w", key, err)})
+			}
+		}
+		progress(key)
+	}); err != nil {
+		panic(&parallel.AbortError{Err: err})
+	}
 
 	c := &Corpus{
 		Variant: v,
@@ -204,16 +281,65 @@ func (s *Session) buildCorpus(v pdn.ProcVariant) *Corpus {
 
 // PairTable builds (or returns the cached) oracle table for a variant.
 // The paper's scheduling study (Sec IV) runs on the Proc3 future-node
-// stand-in.
-func (s *Session) PairTable(v pdn.ProcVariant) *sched.PairTable {
-	return s.tables.Do(v.Name, func() *sched.PairTable {
+// stand-in. Like Corpus, cancellation unwinds as an abort panic.
+func (s *Session) PairTable(ctx context.Context, v pdn.ProcVariant) *sched.PairTable {
+	t, err := s.tables.DoCtx(ctx, v.Name, func() *sched.PairTable {
+		progress := ProgressFrom(ctx)
 		bc := sched.BuildConfig{
-			Chip:    s.ChipConfig(v),
-			Cycles:  s.Scale.PairCycles,
-			Warmup:  s.Scale.WarmupCycles,
-			Margin:  s.Margin(v),
-			Workers: s.Workers,
+			Chip:     s.ChipConfig(v),
+			Cycles:   s.Scale.PairCycles,
+			Warmup:   s.Scale.WarmupCycles,
+			Margin:   s.Margin(v),
+			Workers:  s.Workers,
+			Progress: func(unit string) { progress("table/" + v.Name + "/" + unit) },
 		}
-		return sched.BuildPairTable(bc, s.SpecProfiles())
+		if s.Journal != nil {
+			bc.Cache = &journalCellCache{j: s.Journal, prefix: "table/" + v.Name + "/"}
+		}
+		tt, err := sched.BuildPairTableCtx(ctx, bc, s.SpecProfiles())
+		if err != nil {
+			panic(&parallel.AbortError{Err: err})
+		}
+		return tt
 	})
+	if err != nil {
+		panic(&parallel.AbortError{Err: err})
+	}
+	return t
+}
+
+// journalCellCache adapts the session journal to the pair-table builder's
+// cache seam: every completed cell is recorded under a variant-scoped key
+// and replayed exactly on resume.
+type journalCellCache struct {
+	j      *journal.Journal
+	prefix string
+}
+
+func (c *journalCellCache) LoadSingle(name string) (sched.SingleCell, bool) {
+	var out sched.SingleCell
+	ok := c.j.LookupInto(c.prefix+"single/"+name, &out)
+	return out, ok
+}
+
+func (c *journalCellCache) StoreSingle(name string, cell sched.SingleCell) {
+	c.record(c.prefix+"single/"+name, cell)
+}
+
+func (c *journalCellCache) LoadPair(a, b string) (sched.PairCell, bool) {
+	var out sched.PairCell
+	ok := c.j.LookupInto(c.prefix+"pair/"+a+"+"+b, &out)
+	return out, ok
+}
+
+func (c *journalCellCache) StorePair(a, b string, cell sched.PairCell) {
+	c.record(c.prefix+"pair/"+a+"+"+b, cell)
+}
+
+func (c *journalCellCache) record(key string, v any) {
+	// Abort, not crash: see buildCorpus — journal write failures are
+	// permanent, and the abort carries the cause to Session.Run.
+	if err := c.j.Record(key, v); err != nil {
+		panic(&parallel.AbortError{Err: fmt.Errorf("experiments: journal %s: %w", key, err)})
+	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"sync"
@@ -36,8 +37,8 @@ func TestCorpusParallelMatchesSerial(t *testing.T) {
 	parSess := NewSession(microScale())
 	parSess.Workers = 4
 
-	serial := serialSess.Corpus(pdn.Proc3)
-	par := parSess.Corpus(pdn.Proc3)
+	serial := serialSess.Corpus(context.Background(), pdn.Proc3)
+	par := parSess.Corpus(context.Background(), pdn.Proc3)
 
 	if serial.SingleThreaded != par.SingleThreaded ||
 		serial.MultiThreaded != par.MultiThreaded ||
@@ -71,9 +72,9 @@ func TestSessionConcurrentUse(t *testing.T) {
 	for k := 0; k < callers; k++ {
 		go func(k int) {
 			defer wg.Done()
-			corpora[k] = s.Corpus(pdn.Proc3)
-			tables[k] = s.PairTable(pdn.Proc3)
-			passing[k] = Tab1Fig19(s)
+			corpora[k] = s.Corpus(context.Background(), pdn.Proc3)
+			tables[k] = s.PairTable(context.Background(), pdn.Proc3)
+			passing[k] = Tab1Fig19(context.Background(), s)
 		}(k)
 	}
 	wg.Wait()
@@ -94,8 +95,8 @@ func TestSessionConcurrentUse(t *testing.T) {
 // passing analysis per session instead of computing it twice.
 func TestTab1Fig19Memoized(t *testing.T) {
 	s := session(t)
-	a := Tab1Fig19(s)
-	b := Tab1Fig19(s)
+	a := Tab1Fig19(context.Background(), s)
+	b := Tab1Fig19(context.Background(), s)
 	if a != b {
 		t.Error("Tab1Fig19 recomputed on the second call")
 	}
@@ -155,7 +156,7 @@ func TestFig18ZeroRandomBatches(t *testing.T) {
 	sc := microScale()
 	sc.RandomBatches = 0
 	s := NewSession(sc)
-	r := Fig18(s)
+	r := Fig18(context.Background(), s)
 	if len(r.Random) != 0 {
 		t.Fatalf("expected no random batches, got %d", len(r.Random))
 	}
@@ -181,7 +182,7 @@ func TestRandomEvalsDeterministicAcrossWidths(t *testing.T) {
 	build := func(workers int) *Fig18Result {
 		s := NewSession(microScale())
 		s.Workers = workers
-		return Fig18(s)
+		return Fig18(context.Background(), s)
 	}
 	serial := build(1)
 	par := build(4)

@@ -19,6 +19,7 @@
 package failsafe
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -214,6 +215,20 @@ func (r *Result) Improvement(m resilient.Model) float64 {
 // entries and missing tails idle); every stream must be checkpointable
 // under SchemeCheckpoint.
 func Run(cfg Config, streams []workload.Stream, usefulCycles uint64) (*Result, error) {
+	return RunCtx(context.Background(), cfg, streams, usefulCycles)
+}
+
+// cancelPollCycles is how often the engine's committed loop polls its
+// context: every 4096 wall cycles — frequent enough that cancellation
+// lands within microseconds of simulated work, rare enough to cost
+// nothing against the per-cycle chip simulation.
+const cancelPollCycles = 4096
+
+// RunCtx is Run with cooperative cancellation: the committed loop polls
+// ctx every few thousand cycles and abandons the run with the context's
+// error. Cancellation loses only the partial run — the engine's ledger is
+// never returned partially filled.
+func RunCtx(ctx context.Context, cfg Config, streams []workload.Stream, usefulCycles uint64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -288,6 +303,12 @@ func Run(cfg Config, streams []workload.Stream, usefulCycles uint64) (*Result, e
 	var committed, holdoff uint64
 	below := false
 	for committed < usefulCycles {
+		if (chip.CycleCount()-wallStart)%cancelPollCycles == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("failsafe: run cancelled at %d/%d useful cycles: %w",
+					committed, usefulCycles, err)
+			}
+		}
 		if chip.CycleCount()-wallStart > wallLimit {
 			return nil, fmt.Errorf("%w: %d wall cycles committed only %d of %d useful (%d emergencies)",
 				ErrStuck, chip.CycleCount()-wallStart, committed, usefulCycles, res.Emergencies)

@@ -1,0 +1,329 @@
+// Package journal is the checkpoint layer under long measurement
+// campaigns: an append-only, line-oriented record store that persists each
+// completed unit of work (a corpus run, an oracle pair-table cell) as it
+// finishes, so an interrupted campaign resumes from its last completed
+// unit instead of from zero.
+//
+// The format is deliberately paranoid, because a journal is only useful if
+// a stale or damaged one can never corrupt results:
+//
+//   - The first line is a header carrying a config hash — a digest of
+//     everything that determines the campaign's output (experiment scale,
+//     seeds, code revision). A journal whose hash does not match the
+//     current configuration is rejected outright, never partially reused.
+//   - Every record line carries a checksum of its key and payload. A line
+//     that fails to parse or verify (torn tail from a crash, bit rot) is
+//     skipped with a warning and recomputed; it is never trusted.
+//
+// Records are JSON so float64 payloads round-trip exactly (encoding/json
+// emits the shortest representation that parses back to the same bits),
+// which is what makes a resumed campaign bit-identical to an uninterrupted
+// one.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// FormatVersion is bumped whenever the record layout changes; a journal
+// written by a different version is rejected like a config mismatch.
+const FormatVersion = 1
+
+// Typed errors for every way a journal can be refused.
+var (
+	// ErrStale reports a journal whose config hash does not match the
+	// current campaign configuration.
+	ErrStale = errors.New("journal: config hash mismatch (stale journal)")
+	// ErrNoHeader reports a journal file without a readable header line.
+	ErrNoHeader = errors.New("journal: missing or corrupt header")
+	// ErrExists reports an existing journal opened without resume.
+	ErrExists = errors.New("journal: file exists")
+	// ErrClosed reports a write to a closed journal.
+	ErrClosed = errors.New("journal: closed")
+)
+
+type header struct {
+	Kind    string `json:"kind"` // "header"
+	Version int    `json:"version"`
+	Config  string `json:"config"`
+}
+
+type record struct {
+	Kind    string          `json:"kind"` // "entry"
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload"`
+	Sum     string          `json:"sum"` // sha256(key || payload), hex
+}
+
+// Journal is a single campaign's checkpoint store. It is safe for
+// concurrent use: sweep workers record completed units from many
+// goroutines.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	entries map[string]json.RawMessage
+	path    string
+	config  string
+	records int
+	closed  bool
+	// headerWritten records that the on-disk file already starts with a
+	// valid matching header (set by load on resume).
+	headerWritten bool
+
+	// Warn receives one formatted message per skipped corrupt record.
+	// Defaults to stderr when nil at Open time.
+	warn func(format string, args ...any)
+
+	// OnRecord, when set, observes every successful Record append with
+	// the running record count. Tests use it to kill a campaign at an
+	// exact journal boundary; production code leaves it nil.
+	OnRecord func(n int, key string)
+}
+
+// Options configures Open.
+type Options struct {
+	// Resume allows opening an existing journal file and loading its
+	// records. Without it, an existing file is an ErrExists error — a
+	// guard against silently mixing two campaigns in one file.
+	Resume bool
+	// Warn receives one message per skipped corrupt record; nil logs to
+	// stderr.
+	Warn func(format string, args ...any)
+}
+
+// Open creates (or, with opts.Resume, continues) the journal at path for a
+// campaign with the given config hash. On resume, the existing header must
+// match configHash exactly — ErrStale otherwise — and every well-formed
+// record is loaded for Lookup; corrupt lines are skipped with a warning.
+func Open(path, configHash string, opts Options) (*Journal, error) {
+	warn := opts.Warn
+	if warn == nil {
+		warn = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "journal: "+format+"\n", args...)
+		}
+	}
+	j := &Journal{
+		entries: map[string]json.RawMessage{},
+		path:    path,
+		config:  configHash,
+		warn:    warn,
+	}
+
+	if _, err := os.Stat(path); err == nil {
+		if !opts.Resume {
+			return nil, fmt.Errorf("%w: %s (pass resume to continue it, or remove it)", ErrExists, path)
+		}
+		if err := j.load(path, configHash); err != nil {
+			return nil, err
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("journal: stat %s: %w", path, err)
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	if len(j.entries) == 0 && !j.headerWritten {
+		if err := j.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+func (j *Journal) writeHeader() error {
+	line, err := json.Marshal(header{Kind: "header", Version: FormatVersion, Config: j.config})
+	if err != nil {
+		return err
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("journal: write header: %w", err)
+	}
+	return j.w.Flush()
+}
+
+// load reads an existing journal, validating the header and every record.
+func (j *Journal) load(path, configHash string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("%w: %v", ErrNoHeader, err)
+		}
+		// Empty file: treat as a fresh journal (a crash before the header
+		// flushed); the caller rewrites the header.
+		return nil
+	}
+	var h header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil || h.Kind != "header" {
+		return fmt.Errorf("%w: first line is not a journal header", ErrNoHeader)
+	}
+	if h.Version != FormatVersion {
+		return fmt.Errorf("%w: journal format v%d, this build writes v%d", ErrStale, h.Version, FormatVersion)
+	}
+	if h.Config != configHash {
+		return fmt.Errorf("%w: journal %.12s…, campaign %.12s…", ErrStale, h.Config, configHash)
+	}
+	j.headerWritten = true
+
+	line := 1
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(raw, &r); err != nil || r.Kind != "entry" || r.Key == "" {
+			j.warn("%s:%d: skipping unparseable record: %v", path, line, err)
+			continue
+		}
+		if checksum(r.Key, r.Payload) != r.Sum {
+			j.warn("%s:%d: skipping record %q with bad checksum", path, line, r.Key)
+			continue
+		}
+		j.entries[r.Key] = append(json.RawMessage(nil), r.Payload...)
+	}
+	if err := sc.Err(); err != nil {
+		// A torn final line from a crash: everything scanned so far is
+		// verified, so keep it and warn.
+		j.warn("%s: truncated tail ignored: %v", path, err)
+	}
+	return nil
+}
+
+func checksum(key string, payload []byte) string {
+	h := sha256.New()
+	io.WriteString(h, key)
+	h.Write([]byte{0})
+	h.Write(payload)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Len returns the number of distinct keys currently held.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Lookup returns the raw payload recorded for key, if any.
+func (j *Journal) Lookup(key string) (json.RawMessage, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	p, ok := j.entries[key]
+	return p, ok
+}
+
+// LookupInto unmarshals the payload recorded for key into v. A payload
+// that fails to unmarshal is reported as a miss (with a warning), so the
+// caller recomputes and re-records it — a corrupt entry is never trusted.
+func (j *Journal) LookupInto(key string, v any) bool {
+	p, ok := j.Lookup(key)
+	if !ok {
+		return false
+	}
+	if err := json.Unmarshal(p, v); err != nil {
+		j.warn("record %q does not decode into %T, recomputing: %v", key, v, err)
+		return false
+	}
+	return true
+}
+
+// Record persists one completed unit of work under key, flushing it to the
+// OS before returning so a later crash cannot lose it. Re-recording an
+// existing key overwrites the in-memory copy and appends a new line (the
+// campaign's units are deterministic, so both lines decode identically).
+func (j *Journal) Record(key string, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("journal: marshal %q: %w", key, err)
+	}
+	line, err := json.Marshal(record{Kind: "entry", Key: key, Payload: payload, Sum: checksum(key, payload)})
+	if err != nil {
+		return fmt.Errorf("journal: marshal record %q: %w", key, err)
+	}
+
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		j.mu.Unlock()
+		return fmt.Errorf("journal: append %q: %w", key, err)
+	}
+	if err := j.w.Flush(); err != nil {
+		j.mu.Unlock()
+		return fmt.Errorf("journal: flush %q: %w", key, err)
+	}
+	j.entries[key] = payload
+	j.records++
+	n := j.records
+	hook := j.OnRecord
+	j.mu.Unlock()
+
+	if hook != nil {
+		hook(n, key)
+	}
+	return nil
+}
+
+// Close flushes buffered records and syncs the file to disk.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	var first error
+	if err := j.w.Flush(); err != nil {
+		first = err
+	}
+	if err := j.f.Sync(); err != nil && first == nil {
+		first = err
+	}
+	if err := j.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// ConfigHash digests an arbitrary configuration value (typically a struct
+// of scale + seeds + code revision) into the hex hash the journal header
+// pins. Two configurations hash equal iff their canonical JSON is equal.
+func ConfigHash(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Config values are plain structs assembled by our own callers;
+		// an unmarshalable one is a programming error.
+		panic(fmt.Sprintf("journal: config not hashable: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,168 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	N int     `json:"n"`
+	F float64 `json:"f"`
+}
+
+func open(t *testing.T, path, hash string, resume bool) *Journal {
+	t.Helper()
+	j, err := Open(path, hash, Options{Resume: resume, Warn: func(format string, args ...any) {
+		t.Logf("warn: "+format, args...)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestRecordAndResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	hash := ConfigHash(map[string]string{"scale": "tiny"})
+
+	j := open(t, path, hash, false)
+	for i := 0; i < 10; i++ {
+		if err := j.Record(fmt.Sprintf("run/%d", i), payload{N: i, F: 0.1 * float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, path, hash, true)
+	defer r.Close()
+	if r.Len() != 10 {
+		t.Fatalf("resumed %d entries, want 10", r.Len())
+	}
+	for i := 0; i < 10; i++ {
+		var p payload
+		if !r.LookupInto(fmt.Sprintf("run/%d", i), &p) {
+			t.Fatalf("run/%d lost on resume", i)
+		}
+		if p.N != i || p.F != 0.1*float64(i) {
+			t.Fatalf("run/%d decoded as %+v", i, p)
+		}
+	}
+	// Appending after resume keeps working.
+	if err := r.Record("run/10", payload{N: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleConfigRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	j := open(t, path, ConfigHash("config-A"), false)
+	j.Record("k", payload{N: 1})
+	j.Close()
+
+	_, err := Open(path, ConfigHash("config-B"), Options{Resume: true})
+	if !errors.Is(err, ErrStale) {
+		t.Fatalf("stale journal accepted: err = %v", err)
+	}
+}
+
+func TestExistingWithoutResumeRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	open(t, path, "h", false).Close()
+	if _, err := Open(path, "h", Options{}); !errors.Is(err, ErrExists) {
+		t.Fatalf("existing journal silently reopened: err = %v", err)
+	}
+}
+
+func TestCorruptRecordsSkippedWithWarning(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	hash := ConfigHash("cfg")
+	j := open(t, path, hash, false)
+	j.Record("good/1", payload{N: 1})
+	j.Record("bad/2", payload{N: 2})
+	j.Record("good/3", payload{N: 3})
+	j.Close()
+
+	// Corrupt the middle record's payload without fixing its checksum,
+	// and append a torn line (a crash mid-append).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := strings.Replace(string(data), `"n":2`, `"n":9`, 1) + `{"kind":"entry","key":"torn`
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warnings []string
+	r, err := Open(path, hash, Options{Resume: true, Warn: func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if r.Len() != 2 {
+		t.Fatalf("kept %d entries, want the 2 intact ones", r.Len())
+	}
+	var p payload
+	if r.LookupInto("bad/2", &p) {
+		t.Fatal("checksum-corrupt record was trusted")
+	}
+	if !r.LookupInto("good/1", &p) || !r.LookupInto("good/3", &p) {
+		t.Fatal("intact records lost alongside the corrupt one")
+	}
+	if len(warnings) < 2 {
+		t.Fatalf("expected warnings for the corrupt and torn lines, got %q", warnings)
+	}
+}
+
+func TestTruncatedHeaderRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	if err := os.WriteFile(path, []byte(`{"kind":"entry","key":"x"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, "h", Options{Resume: true}); !errors.Is(err, ErrNoHeader) {
+		t.Fatalf("headerless journal accepted: err = %v", err)
+	}
+}
+
+func TestOnRecordHookSeesBoundaries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	j := open(t, path, "h", false)
+	defer j.Close()
+	var seen []int
+	j.OnRecord = func(n int, key string) { seen = append(seen, n) }
+	for i := 0; i < 3; i++ {
+		j.Record(fmt.Sprintf("k%d", i), payload{N: i})
+	}
+	if len(seen) != 3 || seen[2] != 3 {
+		t.Fatalf("hook saw %v", seen)
+	}
+}
+
+func TestConfigHashDistinguishesConfigs(t *testing.T) {
+	a := ConfigHash(struct{ Scale string }{"tiny"})
+	b := ConfigHash(struct{ Scale string }{"quick"})
+	if a == b {
+		t.Fatal("distinct configs hash equal")
+	}
+	if a != ConfigHash(struct{ Scale string }{"tiny"}) {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestRecordAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	j := open(t, path, "h", false)
+	j.Close()
+	if err := j.Record("k", payload{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("record after close: err = %v", err)
+	}
+}

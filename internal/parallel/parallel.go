@@ -35,6 +35,38 @@ type PanicError struct {
 	Stack []byte // stack of the goroutine that panicked
 }
 
+// AbortError marks work abandoned cooperatively — a sweep or measurement
+// build that observed context cancellation and unwound by panicking. It is
+// the one panic class that means "stop, don't diagnose": recovery
+// boundaries (Group, experiments.Session.Run) translate it back into the
+// context error instead of treating it as a crash, and Group does not
+// cache it, so a later caller with a live context rebuilds.
+type AbortError struct {
+	Err error // the context error that triggered the abort
+}
+
+// Error implements error.
+func (a *AbortError) Error() string { return fmt.Sprintf("parallel: aborted: %v", a.Err) }
+
+// Unwrap exposes the underlying context error, so
+// errors.Is(err, context.Canceled) works through an abort.
+func (a *AbortError) Unwrap() error { return a.Err }
+
+// AbortCause returns the context error carried by an abort panic value —
+// either a bare *AbortError or one wrapped in a *PanicError by a worker
+// recovery — and nil for every other value.
+func AbortCause(r any) error {
+	switch v := r.(type) {
+	case *AbortError:
+		return v.Err
+	case *PanicError:
+		if a, ok := v.Value.(*AbortError); ok {
+			return a.Err
+		}
+	}
+	return nil
+}
+
 // Error implements error.
 func (p *PanicError) Error() string {
 	return fmt.Sprintf("parallel: worker panicked: %v\n%s", p.Value, p.Stack)
@@ -139,13 +171,23 @@ func For(ctx context.Context, workers, n int, fn func(i int) error) error {
 	return first
 }
 
-// Sweep is For for the common measurement-sweep case: no error path and
-// no cancellation. Panics still propagate to the caller.
-func Sweep(workers, n int, fn func(i int)) {
-	// fn has no error path, so For can only return a ctx error — and the
-	// background context has none.
-	_ = For(context.Background(), workers, n, func(i int) error {
+// SweepCtx is For for the measurement-sweep case — fn has no error path —
+// but honors cancellation: a cancelled ctx stops handing out indexes, the
+// in-flight fn calls finish, and the context's error is returned. Workers
+// poll ctx between indexes, so a sweep over long-running simulations
+// unwinds at the next run boundary rather than blocking forever.
+func SweepCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	return For(ctx, workers, n, func(i int) error {
 		fn(i)
 		return nil
 	})
+}
+
+// Sweep is SweepCtx without cancellation, kept for callers whose sweeps
+// are short enough that cancellation has nothing to interrupt. Panics
+// still propagate to the caller.
+func Sweep(workers, n int, fn func(i int)) {
+	// fn has no error path, so SweepCtx can only return a ctx error — and
+	// the background context has none.
+	_ = SweepCtx(context.Background(), workers, n, fn)
 }

@@ -225,3 +225,120 @@ func TestGroupPanicReachesWaitersAndLaterCallers(t *testing.T) {
 		}
 	}
 }
+
+func TestSweepCtxHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var ran atomic.Int32
+	done := make(chan error, 1)
+	go func() {
+		done <- SweepCtx(ctx, 2, 1000, func(i int) {
+			ran.Add(1)
+			<-release
+		})
+	}()
+	cancel()
+	close(release)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Errorf("cancellation did not stop the sweep (%d iterations)", n)
+	}
+}
+
+func TestAbortCause(t *testing.T) {
+	cause := context.Canceled
+	if got := AbortCause(&AbortError{Err: cause}); got != cause {
+		t.Errorf("bare abort: cause %v", got)
+	}
+	wrapped := &PanicError{Value: &AbortError{Err: cause}}
+	if got := AbortCause(wrapped); got != cause {
+		t.Errorf("worker-wrapped abort: cause %v", got)
+	}
+	if got := AbortCause("kaboom"); got != nil {
+		t.Errorf("plain panic classified as abort: %v", got)
+	}
+	if !errors.Is(&AbortError{Err: context.Canceled}, context.Canceled) {
+		t.Error("AbortError does not unwrap to its context error")
+	}
+}
+
+func TestGroupDoesNotCacheAborts(t *testing.T) {
+	var g Group[string, int]
+	var builds atomic.Int32
+	abort := func() (r any) {
+		defer func() { r = recover() }()
+		g.Do("key", func() int {
+			builds.Add(1)
+			panic(&AbortError{Err: context.Canceled})
+		})
+		return nil
+	}
+	if r := abort(); AbortCause(r) == nil {
+		t.Fatalf("abort panic did not propagate to the builder: %v", r)
+	}
+	// A later call retries the build rather than replaying the abort.
+	got, err := g.DoCtx(context.Background(), "key", func() int {
+		builds.Add(1)
+		return 42
+	})
+	if err != nil || got != 42 {
+		t.Fatalf("retry after abort: %d, %v", got, err)
+	}
+	if builds.Load() != 2 {
+		t.Errorf("build ran %d times, want 2 (abort + retry)", builds.Load())
+	}
+}
+
+func TestGroupDoCtxWaiterStopsOnCancel(t *testing.T) {
+	var g Group[string, int]
+	inBuild := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		g.Do("slow", func() int {
+			close(inBuild)
+			<-release
+			return 1
+		})
+	}()
+	<-inBuild
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := g.DoCtx(ctx, "slow", func() int { return 2 })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v", err)
+	}
+	close(release)
+	// The build itself was never cancelled: its value is cached.
+	if v := g.Do("slow", func() int { return 3 }); v != 1 {
+		t.Errorf("builder's value lost: got %d", v)
+	}
+}
+
+func TestGroupWaiterRetriesAfterBuilderAbort(t *testing.T) {
+	var g Group[string, int]
+	inBuild := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		g.Do("key", func() int {
+			close(inBuild)
+			<-release
+			panic(&AbortError{Err: context.Canceled})
+		})
+	}()
+	<-inBuild
+	done := make(chan int, 1)
+	go func() {
+		v, err := g.DoCtx(context.Background(), "key", func() int { return 7 })
+		if err != nil {
+			t.Errorf("waiter err: %v", err)
+		}
+		done <- v
+	}()
+	close(release)
+	if v := <-done; v != 7 {
+		t.Errorf("waiter got %d after builder abort, want its own rebuild (7)", v)
+	}
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -200,7 +201,16 @@ type CounterFault interface {
 // updates its stall-ratio estimates, and re-picks. Unobserved jobs carry
 // a neutral prior so every job gets scheduled early on.
 func RunOnline(cfg OnlineConfig, jobs []*Job, policy OnlinePolicy) OnlineResult {
-	return runOnline(cfg, jobs, policy, nil)
+	res, _ := runOnline(context.Background(), cfg, jobs, policy, nil)
+	return res
+}
+
+// RunOnlineCtx is RunOnline with cooperative cancellation: the scheduler
+// polls ctx at quantum boundaries (its natural phase boundary — a quantum
+// is one indivisible chip simulation) and, when cancelled, returns the
+// partial result marked Truncated together with the context's error.
+func RunOnlineCtx(ctx context.Context, cfg OnlineConfig, jobs []*Job, policy OnlinePolicy) (OnlineResult, error) {
+	return runOnline(ctx, cfg, jobs, policy, nil)
 }
 
 // RunOnlineResilient is RunOnline with a degraded performance-monitoring
@@ -213,10 +223,17 @@ func RunOnline(cfg OnlineConfig, jobs []*Job, policy OnlinePolicy) OnlineResult 
 // counted in OnlineResult.DegradedQuanta. A nil fault makes it identical
 // to RunOnline.
 func RunOnlineResilient(cfg OnlineConfig, jobs []*Job, policy OnlinePolicy, fault CounterFault) OnlineResult {
-	return runOnline(cfg, jobs, policy, fault)
+	res, _ := runOnline(context.Background(), cfg, jobs, policy, fault)
+	return res
 }
 
-func runOnline(cfg OnlineConfig, jobs []*Job, policy OnlinePolicy, fault CounterFault) OnlineResult {
+// RunOnlineResilientCtx is RunOnlineResilient with the quantum-boundary
+// cancellation of RunOnlineCtx.
+func RunOnlineResilientCtx(ctx context.Context, cfg OnlineConfig, jobs []*Job, policy OnlinePolicy, fault CounterFault) (OnlineResult, error) {
+	return runOnline(ctx, cfg, jobs, policy, fault)
+}
+
+func runOnline(ctx context.Context, cfg OnlineConfig, jobs []*Job, policy OnlinePolicy, fault CounterFault) (OnlineResult, error) {
 	if len(jobs) == 0 {
 		panic("sched: RunOnline with no jobs")
 	}
@@ -250,6 +267,11 @@ func runOnline(cfg OnlineConfig, jobs []*Job, policy OnlinePolicy, fault Counter
 		view := runnable()
 		if len(view) == 0 {
 			break
+		}
+		if err := ctx.Err(); err != nil {
+			res.Truncated = true
+			finish(&res, scope, cfg)
+			return res, err
 		}
 		if cfg.MaxQuanta > 0 && res.Quanta >= cfg.MaxQuanta {
 			res.Truncated = true
@@ -312,11 +334,16 @@ func runOnline(cfg OnlineConfig, jobs []*Job, policy OnlinePolicy, fault Counter
 		}
 	}
 
+	finish(&res, scope, cfg)
+	return res, nil
+}
+
+// finish folds the scope's emergency counts into the result.
+func finish(res *OnlineResult, scope *sense.Scope, cfg OnlineConfig) {
 	res.Emergencies = scope.Crossings(cfg.Margin)
 	if res.TotalCycles > 0 {
 		res.DroopsPerKc = 1000 * float64(res.Emergencies) / float64(res.TotalCycles)
 	}
-	return res
 }
 
 // retire charges completed work against a job's remaining instructions.

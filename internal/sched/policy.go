@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -210,12 +211,21 @@ func RandomBatches(t *PairTable, cfg BatchConfig, count int, seed int64) []Batch
 // `workers` goroutines. The result equals evaluating
 // RandomBatches(t, cfg, count, seed) batch by batch, at any width.
 func RandomEvals(t *PairTable, cfg BatchConfig, count int, seed int64, workers int) []BatchEval {
+	out, _ := RandomEvalsCtx(context.Background(), t, cfg, count, seed, workers)
+	return out
+}
+
+// RandomEvalsCtx is RandomEvals with cooperative cancellation at batch
+// boundaries; a cancelled sweep returns the context's error and no evals.
+func RandomEvalsCtx(ctx context.Context, t *PairTable, cfg BatchConfig, count int, seed int64, workers int) ([]BatchEval, error) {
 	seeds := randomSeeds(count, seed)
 	out := make([]BatchEval, count)
-	parallel.Sweep(workers, count, func(k int) {
+	if err := parallel.SweepCtx(ctx, workers, count, func(k int) {
 		out[k] = EvaluateBatch(t, BuildBatch(t, RandomPolicy{Seed: seeds[k]}, cfg))
-	})
-	return out
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // BestPartner returns, for benchmark i, the co-runner the policy would

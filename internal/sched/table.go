@@ -10,6 +10,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"voltsmooth/internal/core"
@@ -60,6 +61,39 @@ type BuildConfig struct {
 	// at any width. <= 0 means parallel.DefaultWorkers(); 1 is the serial
 	// path.
 	Workers int
+	// Cache, when non-nil, is consulted before each measurement and told
+	// each fresh result: the seam the campaign journal plugs into so an
+	// interrupted table build resumes from its completed cells. Cached
+	// cells must round-trip exactly (the journal's JSON does), keeping
+	// the resumed table bit-identical to a fresh build.
+	Cache CellCache
+	// Progress, when non-nil, is called once per completed cell with a
+	// short unit label. The batch runner's stall watchdog feeds on it.
+	Progress func(unit string)
+}
+
+// SingleCell is the persisted content of one single-core reference
+// measurement.
+type SingleCell struct {
+	Droops float64 `json:"droops"`
+	IPC    float64 `json:"ipc"`
+}
+
+// PairCell is the persisted content of one pair measurement.
+type PairCell struct {
+	Droops float64           `json:"droops"`
+	IPC    float64           `json:"ipc"`
+	Run    resilient.RunData `json:"run"`
+}
+
+// CellCache lets a caller interpose a persistent store under the pair
+// sweep. Implementations must be safe for concurrent use; Load misses
+// simply recompute.
+type CellCache interface {
+	LoadSingle(name string) (SingleCell, bool)
+	StoreSingle(name string, c SingleCell)
+	LoadPair(a, b string) (PairCell, bool)
+	StorePair(a, b string, c PairCell)
 }
 
 // DefaultBuildConfig returns the configuration used by the experiments:
@@ -81,6 +115,21 @@ func DefaultBuildConfig() BuildConfig {
 // the table is identical at any width). Callers running quick checks
 // should pass fewer profiles or fewer cycles.
 func BuildPairTable(cfg BuildConfig, profiles []workload.Profile) *PairTable {
+	t, err := BuildPairTableCtx(context.Background(), cfg, profiles)
+	if err != nil {
+		// The background context cannot be cancelled, so the ctx variant
+		// cannot fail here.
+		panic(fmt.Sprintf("sched: BuildPairTable: %v", err))
+	}
+	return t
+}
+
+// BuildPairTableCtx is BuildPairTable with cooperative cancellation: the
+// sweep polls ctx at run boundaries (the oracle phase boundary — each run
+// is one indivisible seeded simulation) and returns the context's error
+// with no table. Completed cells already handed to cfg.Cache survive, so
+// a cancelled build resumes from where it stopped.
+func BuildPairTableCtx(ctx context.Context, cfg BuildConfig, profiles []workload.Profile) (*PairTable, error) {
 	if len(profiles) == 0 {
 		panic("sched: BuildPairTable needs at least one profile")
 	}
@@ -110,23 +159,58 @@ func BuildPairTable(cfg BuildConfig, profiles []workload.Profile) *PairTable {
 		t.IPC[i] = make([]float64, n)
 		t.Runs[i] = make([]resilient.RunData, n)
 	}
-	parallel.Sweep(cfg.Workers, n, func(i int) {
+	progress := cfg.Progress
+	if progress == nil {
+		progress = func(string) {}
+	}
+	if err := parallel.SweepCtx(ctx, cfg.Workers, n, func(i int) {
+		name := profiles[i].Name
+		if cfg.Cache != nil {
+			if c, ok := cfg.Cache.LoadSingle(name); ok {
+				t.SingleDroops[i] = c.Droops
+				t.SingleIPC[i] = c.IPC
+				progress("single/" + name)
+				return
+			}
+		}
 		res := core.RunSingle(cfg.Chip, profiles[i].NewStream(), rc)
 		t.SingleDroops[i] = res.DroopsPerKCycle(cfg.Margin)
 		t.SingleIPC[i] = res.IPC(0)
-	})
+		if cfg.Cache != nil {
+			cfg.Cache.StoreSingle(name, SingleCell{Droops: t.SingleDroops[i], IPC: t.SingleIPC[i]})
+		}
+		progress("single/" + name)
+	}); err != nil {
+		return nil, err
+	}
 	// The N² pair sweep, flattened to one index space: run k measures
 	// program k/n on core 0 against program k%n on core 1.
-	parallel.Sweep(cfg.Workers, n*n, func(k int) {
+	if err := parallel.SweepCtx(ctx, cfg.Workers, n*n, func(k int) {
 		i, j := k/n, k%n
+		a, b := profiles[i].Name, profiles[j].Name
+		if cfg.Cache != nil {
+			if c, ok := cfg.Cache.LoadPair(a, b); ok {
+				t.Droops[i][j] = c.Droops
+				t.IPC[i][j] = c.IPC
+				t.Runs[i][j] = c.Run
+				progress("pair/" + a + "+" + b)
+				return
+			}
+		}
 		res := core.RunPair(cfg.Chip, profiles[i].NewStream(), profiles[j].NewStream(), rc)
 		t.Droops[i][j] = res.DroopsPerKCycle(cfg.Margin)
 		t.IPC[i][j] = res.TotalIPC()
 		t.Runs[i][j] = resilient.FromScope(
-			fmt.Sprintf("%s+%s", profiles[i].Name, profiles[j].Name),
+			fmt.Sprintf("%s+%s", a, b),
 			res.Cycles, res.Scope)
-	})
-	return t
+		if cfg.Cache != nil {
+			cfg.Cache.StorePair(a, b, PairCell{Droops: t.Droops[i][j], IPC: t.IPC[i][j], Run: t.Runs[i][j]})
+		}
+		progress("pair/" + a + "+" + b)
+	}); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // Size returns the number of benchmarks in the table.

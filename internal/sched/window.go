@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"context"
+
 	"voltsmooth/internal/core"
 	"voltsmooth/internal/counters"
 	"voltsmooth/internal/sense"
@@ -29,6 +31,15 @@ type WindowResult struct {
 // from its beginning while Prog X advances through its phases, each window
 // convolves Y's opening phase with a different phase of X.
 func SlidingWindow(cfg uarch.Config, x, y workload.Profile, windowCycles uint64, windows int, margin float64) WindowResult {
+	res, _ := SlidingWindowCtx(context.Background(), cfg, x, y, windowCycles, windows, margin)
+	return res
+}
+
+// SlidingWindowCtx is SlidingWindow with cooperative cancellation: the
+// experiment polls ctx at window boundaries — its natural phase boundary,
+// since each window is one indivisible convolution step — and returns the
+// context's error with a zero result when cancelled.
+func SlidingWindowCtx(ctx context.Context, cfg uarch.Config, x, y workload.Profile, windowCycles uint64, windows int, margin float64) (WindowResult, error) {
 	if windowCycles == 0 || windows <= 0 {
 		panic("sched: SlidingWindow needs positive window size and count")
 	}
@@ -37,13 +48,16 @@ func SlidingWindow(cfg uarch.Config, x, y workload.Profile, windowCycles uint64,
 	}
 	res := WindowResult{WindowCycles: windowCycles}
 
-	run := func(withY bool) []float64 {
+	run := func(withY bool) ([]float64, error) {
 		chip := uarch.NewChip(cfg)
 		chip.SetStream(0, x.NewStream())
 		scope := sense.NewScope(cfg.PDN.VNom, []float64{margin})
 		series := make([]float64, 0, windows)
 		var prev uint64
 		for w := 0; w < windows; w++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if withY {
 				chip.SetStream(1, y.NewStream()) // fresh instance each window
 			}
@@ -54,12 +68,17 @@ func SlidingWindow(cfg uarch.Config, x, y workload.Profile, windowCycles uint64,
 			series = append(series, counters.PerKCycles(cur-prev, windowCycles))
 			prev = cur
 		}
-		return series
+		return series, nil
 	}
 
-	res.SoloDroops = run(false)
-	res.CoDroops = run(true)
-	return res
+	var err error
+	if res.SoloDroops, err = run(false); err != nil {
+		return WindowResult{}, err
+	}
+	if res.CoDroops, err = run(true); err != nil {
+		return WindowResult{}, err
+	}
+	return res, nil
 }
 
 // InterferenceKind classifies one window of a sliding-window run.

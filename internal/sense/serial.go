@@ -1,0 +1,72 @@
+package sense
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"voltsmooth/internal/stats"
+)
+
+// scopeState is the exported wire form of a Scope, used by the campaign
+// journal to persist completed measurement runs. Thresholds are not
+// stored: they are recomputed from vnom and the margins exactly as
+// NewScope computes them, so a restored scope counts crossings (and
+// merges) bit-identically to the live one.
+type scopeState struct {
+	VNom      float64          `json:"vnom"`
+	Samples   uint64           `json:"samples"`
+	Margins   []float64        `json:"margins,omitempty"`
+	Below     []bool           `json:"below,omitempty"`
+	Crossings []uint64         `json:"crossings,omitempty"`
+	Hist      *stats.Histogram `json:"hist"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Scope) MarshalJSON() ([]byte, error) {
+	return json.Marshal(scopeState{
+		VNom:      s.vnom,
+		Samples:   s.samples,
+		Margins:   s.margins,
+		Below:     s.below,
+		Crossings: s.crossings,
+		Hist:      s.hist,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Scope) UnmarshalJSON(data []byte) error {
+	var st scopeState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if st.VNom <= 0 || st.Hist == nil {
+		return fmt.Errorf("sense: scope state missing nominal voltage or histogram")
+	}
+	if len(st.Below) != len(st.Margins) || len(st.Crossings) != len(st.Margins) {
+		return fmt.Errorf("sense: scope state with mismatched margin arrays (%d margins, %d below, %d crossings)",
+			len(st.Margins), len(st.Below), len(st.Crossings))
+	}
+	for i, m := range st.Margins {
+		if m <= 0 || m >= 1 {
+			return fmt.Errorf("sense: scope state margin %g outside (0,1)", m)
+		}
+		if i > 0 && st.Margins[i-1] > m {
+			return fmt.Errorf("sense: scope state margins not ascending")
+		}
+	}
+	thr := make([]float64, len(st.Margins))
+	for i, m := range st.Margins {
+		thr[i] = st.VNom * (1 - m)
+	}
+	s.vnom = st.VNom
+	s.hist = st.Hist
+	s.samples = st.Samples
+	s.margins = st.Margins
+	s.threshold = thr
+	s.below = st.Below
+	s.crossings = st.Crossings
+	if s.margins == nil {
+		s.margins = []float64{}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// histogramState is the exported wire form of a Histogram. Every field
+// round-trips exactly: counts are integers, and encoding/json emits the
+// shortest float64 representation that parses back to the same bits, so a
+// journaled histogram merges bit-identically to the one that was measured.
+// Min/Max are pointers because an empty histogram holds ±Inf sentinels,
+// which JSON cannot represent; they are omitted (and restored) when no
+// samples were recorded.
+type histogramState struct {
+	Lo        float64  `json:"lo"`
+	Hi        float64  `json:"hi"`
+	Counts    []uint64 `json:"counts"`
+	Underflow uint64   `json:"underflow,omitempty"`
+	Overflow  uint64   `json:"overflow,omitempty"`
+	Total     uint64   `json:"total"`
+	Sum       float64  `json:"sum"`
+	Min       *float64 `json:"min,omitempty"`
+	Max       *float64 `json:"max,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	st := histogramState{
+		Lo:        h.Lo,
+		Hi:        h.Hi,
+		Counts:    h.counts,
+		Underflow: h.underflow,
+		Overflow:  h.overflow,
+		Total:     h.total,
+		Sum:       h.sum,
+	}
+	if h.total > 0 {
+		mn, mx := h.min, h.max
+		st.Min, st.Max = &mn, &mx
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var st histogramState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if len(st.Counts) == 0 || st.Hi <= st.Lo {
+		return fmt.Errorf("stats: histogram state with invalid shape [%g, %g) x %d buckets",
+			st.Lo, st.Hi, len(st.Counts))
+	}
+	if st.Total > 0 && (st.Min == nil || st.Max == nil) {
+		return fmt.Errorf("stats: histogram state with %d samples but no extremes", st.Total)
+	}
+	h.Lo, h.Hi = st.Lo, st.Hi
+	h.counts = st.Counts
+	h.underflow, h.overflow = st.Underflow, st.Overflow
+	h.total, h.sum = st.Total, st.Sum
+	h.min, h.max = math.Inf(1), math.Inf(-1)
+	if st.Total > 0 {
+		h.min, h.max = *st.Min, *st.Max
+	}
+	return nil
+}
