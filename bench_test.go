@@ -16,6 +16,8 @@ import (
 
 	"voltsmooth/internal/experiments"
 	"voltsmooth/internal/pdn"
+	"voltsmooth/internal/telemetry"
+	"voltsmooth/internal/telemetry/wire"
 	"voltsmooth/internal/uarch"
 	"voltsmooth/internal/workload"
 )
@@ -168,4 +170,36 @@ func BenchmarkImpedanceSolve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = n.ImpedanceMag(1e6 + float64(i&1023)*1e5)
 	}
+}
+
+// BenchmarkTelemetryOverhead measures the cost of the telemetry hooks on
+// the simulation hot path, off vs on: a full chip cycle (whose PDN step is
+// the one per-cycle telemetry touchpoint — a single atomic pointer load
+// when disabled, plus one atomic add when enabled). The off/on delta is
+// the documented overhead budget (DESIGN §7): it must stay within ~5% of
+// cycle time.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B) {
+		chip := uarch.NewChip(uarch.DefaultConfig())
+		p, err := workload.ByName("gcc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		q, err := workload.ByName("mcf")
+		if err != nil {
+			b.Fatal(err)
+		}
+		chip.SetStream(0, p.NewStream())
+		chip.SetStream(1, q.NewStream())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			chip.Cycle()
+		}
+	}
+	b.Run("off", run)
+	b.Run("on", func(b *testing.B) {
+		uninstall := wire.Install(telemetry.NewRegistry(), telemetry.NewTrace(0))
+		defer uninstall()
+		run(b)
+	})
 }

@@ -51,6 +51,9 @@ func main() {
 	retries := flag.Int("retries", runner.DefaultMaxAttempts, "attempts per experiment (first run + retries)")
 	journalPath := flag.String("journal", "", "checkpoint completed measurements to this file (JSONL)")
 	resume := flag.Bool("resume", false, "continue an existing -journal file; it must match the current scale and fault config")
+	metricsAddr := flag.String("metrics-addr", "", "serve live campaign metrics (expvar JSON at /debug/vars) and pprof on this address (e.g. 127.0.0.1:6060)")
+	tracePath := flag.String("trace", "", "export the campaign event trace to this file (JSONL) at exit")
+	status := flag.Duration("status", 0, "print a one-line campaign status to stderr at this interval (0 = off)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -58,6 +61,18 @@ func main() {
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
+	}
+
+	// Config errors fail before any simulation starts: a campaign that
+	// would run for hours must not discover a bad flag at the end.
+	if *resume && *journalPath == "" {
+		fatalUsage("-resume requires -journal (there is no file to resume from)")
+	}
+	if *retries < 1 {
+		fatalUsage("-retries must be at least 1 (the first attempt counts)")
+	}
+	if *status < 0 {
+		fatalUsage("-status must be a non-negative interval")
 	}
 
 	switch args[0] {
@@ -79,8 +94,18 @@ func main() {
 			retries:     *retries,
 			journalPath: *journalPath,
 			resume:      *resume,
+			metricsAddr: *metricsAddr,
+			tracePath:   *tracePath,
+			status:      *status,
 		}
-		if err := run(cfg, args[1:]); err != nil {
+		// Telemetry resources (metrics listener, trace file) are claimed
+		// before any simulation: an unopenable address or path is a config
+		// error, reported like one.
+		tel, err := startTelemetry(cfg)
+		if err != nil {
+			fatalUsage(err.Error())
+		}
+		if err := run(cfg, args[1:], tel); err != nil {
 			fmt.Fprintln(os.Stderr, "vsmooth:", err)
 			os.Exit(1)
 		}
@@ -89,6 +114,14 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+}
+
+// fatalUsage reports a configuration error the way flag parsing does:
+// message and usage to stderr, exit code 2.
+func fatalUsage(msg string) {
+	fmt.Fprintln(os.Stderr, "vsmooth:", msg)
+	usage()
+	os.Exit(2)
 }
 
 func usage() {
@@ -115,6 +148,14 @@ Ctrl-C / SIGTERM stop gracefully: completed figures still render.
 interrupt, -resume continues from the last completed unit and produces
 bit-identical output. A journal recorded under a different scale or
 fault config is rejected.
+
+Telemetry (observes only; figures are bit-identical with it on or off):
+-metrics-addr ADDR serves live campaign metrics as expvar JSON at
+/debug/vars plus the pprof profiler family; -trace FILE exports the
+campaign event trace (emergencies, recoveries, scheduler swaps, retries,
+journal appends) as JSONL at exit; -status DUR prints a one-line
+progress summary to stderr at that interval. All telemetry output goes
+to stderr, the trace file, or the HTTP endpoint — never stdout.
 `)
 }
 
@@ -135,9 +176,20 @@ type runConfig struct {
 	retries     int
 	journalPath string
 	resume      bool
+	metricsAddr string
+	tracePath   string
+	status      time.Duration
 }
 
-func run(cfg runConfig, ids []string) error {
+func run(cfg runConfig, ids []string, tel *campaignTelemetry) error {
+	// The telemetry surface outlives the campaign by one step: the summary
+	// table and trace export happen after every figure has rendered.
+	defer func() {
+		if err := tel.close(); err != nil {
+			fmt.Fprintln(os.Stderr, "vsmooth:", err)
+		}
+	}()
+
 	scale, err := experiments.ScaleByName(cfg.scaleName)
 	if err != nil {
 		return err

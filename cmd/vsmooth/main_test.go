@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"voltsmooth/internal/experiments"
+	"voltsmooth/internal/telemetry"
+	"voltsmooth/internal/telemetry/wire"
+)
+
+// TestMetricsEndpointServesLiveCounters is the end-to-end telemetry smoke
+// test: bring the surface up exactly as the CLI does (startTelemetry),
+// run a tiny campaign, and — from the campaign's own progress callback,
+// while measurement is still in flight — hit the expvar endpoint and
+// assert it serves live, nonzero counters. Short-mode friendly: one tiny
+// experiment, a few seconds.
+func TestMetricsEndpointServesLiveCounters(t *testing.T) {
+	tel, err := startTelemetry(runConfig{metricsAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tel.close()
+	url := fmt.Sprintf("http://%s/debug/vars", tel.listener.Addr())
+
+	// Probe the endpoint once mid-campaign, from the first progress
+	// callback after a few units have landed.
+	var (
+		once     sync.Once
+		probed   telemetry.Snapshot
+		probeErr error
+	)
+	probe := func() {
+		var payload struct {
+			VSmooth telemetry.Snapshot `json:"vsmooth"`
+		}
+		client := &http.Client{Timeout: 5 * time.Second}
+		resp, err := client.Get(url)
+		if err != nil {
+			probeErr = err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			probeErr = fmt.Errorf("GET %s: %s", url, resp.Status)
+			return
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+			probeErr = fmt.Errorf("decode expvar JSON: %w", err)
+			return
+		}
+		probed = payload.VSmooth
+	}
+
+	var units int
+	ctx := experiments.WithProgress(context.Background(), func(unit string) {
+		units++
+		if units >= 3 && strings.HasPrefix(unit, "corpus/") {
+			once.Do(probe)
+		}
+	})
+
+	e, err := experiments.Lookup("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := experiments.NewSession(experiments.Tiny())
+	s.Workers = 1 // serial sweep: the progress callback needs no locking
+	if _, err := s.Run(ctx, e); err != nil {
+		t.Fatal(err)
+	}
+
+	if probeErr != nil {
+		t.Fatal(probeErr)
+	}
+	if probed.Counters == nil {
+		t.Fatal("campaign finished without the mid-run probe firing")
+	}
+	if got := probed.Counters[wire.ExpUnits]; got == 0 {
+		t.Errorf("mid-campaign expvar snapshot shows no completed units: %+v", probed.Counters)
+	}
+	if got := probed.Counters[wire.PDNSteps]; got == 0 {
+		t.Errorf("mid-campaign expvar snapshot shows no PDN steps: %+v", probed.Counters)
+	}
+}
+
+// TestStatusLineShape pins the live status line's fields so operators (and
+// log scrapers) can rely on them.
+func TestStatusLineShape(t *testing.T) {
+	tel := &campaignTelemetry{reg: telemetry.NewRegistry(), trace: telemetry.NewTrace(16)}
+	tel.reg.Counter(wire.ExpUnits).Add(7)
+	tel.reg.Counter(wire.RunnerRetries).Add(2)
+	tel.reg.Counter(wire.ExpEmergencies).Add(40)
+	tel.reg.Counter(wire.FailsafeEmergencies).Add(2)
+	got := tel.statusLine()
+	want := "vsmooth: status units=7 cells=0 inflight=0 retries=2 emergencies=42"
+	if got != want {
+		t.Errorf("status line:\n  got  %q\n  want %q", got, want)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"strings"
+	"time"
 
 	"voltsmooth/internal/core"
 	"voltsmooth/internal/journal"
@@ -13,6 +15,7 @@ import (
 	"voltsmooth/internal/resilient"
 	"voltsmooth/internal/sched"
 	"voltsmooth/internal/sense"
+	"voltsmooth/internal/telemetry"
 	"voltsmooth/internal/uarch"
 	"voltsmooth/internal/workload"
 )
@@ -74,6 +77,28 @@ var ErrExperimentPanicked = errors.New("experiments: runner panicked")
 // otherwise), so a failed figure in a long campaign is diagnosable from
 // the report alone.
 func (s *Session) Run(ctx context.Context, e Entry) (r Renderer, err error) {
+	if h := hooks.Load(); h != nil {
+		if h.Trace != nil {
+			h.Trace.Emit(telemetry.Event{Kind: "exp.start", ID: e.ID})
+		}
+		start := time.Now()
+		defer func() {
+			elapsed := time.Since(start)
+			if h.WallTime != nil {
+				h.WallTime.Observe(elapsed)
+			}
+			if h.Experiments != nil {
+				h.Experiments.Inc()
+			}
+			if h.Trace != nil {
+				detail := "ok"
+				if err != nil {
+					detail = firstLine(err)
+				}
+				h.Trace.Emit(telemetry.Event{Kind: "exp.done", ID: e.ID, Detail: detail, Value: elapsed.Seconds()})
+			}
+		}()
+	}
 	defer func() {
 		p := recover()
 		if p == nil {
@@ -91,6 +116,16 @@ func (s *Session) Run(ctx context.Context, e Entry) (r Renderer, err error) {
 		err = fmt.Errorf("%w: %s: %v\n%s", ErrExperimentPanicked, e.ID, p, stack)
 	}()
 	return e.Run(ctx, s), nil
+}
+
+// firstLine trims an error to its first line for trace payloads (panic
+// errors carry whole stacks).
+func firstLine(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
 }
 
 // ConfigFingerprint digests everything that determines the session's
@@ -232,6 +267,22 @@ func (s *Session) buildCorpus(ctx context.Context, v pdn.ProcVariant) *Corpus {
 	jobs := s.corpusJobs(cfg)
 	progress := ProgressFrom(ctx)
 
+	// unitDone feeds the campaign telemetry per completed unit: the units
+	// counter drives the live status line, and each run's crossings at the
+	// characterization margin accumulate into "emergencies so far".
+	unitDone := func(rec *corpusRecord) {
+		h := hooks.Load()
+		if h == nil {
+			return
+		}
+		if h.Units != nil {
+			h.Units.Inc()
+		}
+		if h.Emergencies != nil && rec.Scope != nil {
+			h.Emergencies.Add(rec.Scope.Crossings(core.PhaseMargin))
+		}
+	}
+
 	// Measure in parallel (each job is an independent seeded simulation),
 	// then fold serially in job order so the merged scope and run list
 	// match the serial build exactly. Completed runs are checkpointed to
@@ -241,6 +292,7 @@ func (s *Session) buildCorpus(ctx context.Context, v pdn.ProcVariant) *Corpus {
 		key := "corpus/" + v.Name + "/" + jobs[i].name
 		if s.Journal != nil && s.Journal.LookupInto(key, &results[i]) {
 			progress(key)
+			unitDone(&results[i])
 			return
 		}
 		res := jobs[i].run()
@@ -255,6 +307,7 @@ func (s *Session) buildCorpus(ctx context.Context, v pdn.ProcVariant) *Corpus {
 			}
 		}
 		progress(key)
+		unitDone(&results[i])
 	}); err != nil {
 		panic(&parallel.AbortError{Err: err})
 	}

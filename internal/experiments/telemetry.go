@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"voltsmooth/internal/telemetry"
+)
+
+// Hooks is the session's telemetry surface. Every field may be nil. Hook
+// calls happen per completed experiment and per completed measurement unit
+// (a corpus run) — never inside a simulation loop — and observe only:
+// every figure and journal byte is bit-identical with hooks installed or
+// not.
+type Hooks struct {
+	// Experiments counts completed Session.Run calls (failures included).
+	Experiments *telemetry.Counter
+	// Units counts completed corpus measurement units, journal replays
+	// included (oracle-table cells are counted by sched.Hooks.Cells).
+	Units *telemetry.Counter
+	// Emergencies accumulates each corpus run's margin crossings at the
+	// paper's characterization margin (core.PhaseMargin) — the campaign's
+	// running "emergencies so far" figure.
+	Emergencies *telemetry.Counter
+	// WallTime observes each experiment's wall-clock duration.
+	WallTime *telemetry.Timing
+	// Trace receives "exp.start" and "exp.done" events per Session.Run.
+	Trace *telemetry.Trace
+}
+
+var hooks atomic.Pointer[Hooks]
+
+// SetHooks installs (or, with nil, removes) the package's telemetry hooks
+// and returns the previously installed set. Typically wired once at
+// campaign start by internal/telemetry/wire.
+func SetHooks(h *Hooks) *Hooks { return hooks.Swap(h) }

@@ -26,6 +26,7 @@ import (
 	"voltsmooth/internal/counters"
 	"voltsmooth/internal/resilient"
 	"voltsmooth/internal/sense"
+	"voltsmooth/internal/telemetry"
 	"voltsmooth/internal/uarch"
 	"voltsmooth/internal/workload"
 )
@@ -290,6 +291,9 @@ func RunCtx(ctx context.Context, cfg Config, streams []workload.Stream, usefulCy
 			scope.Sample(chip.StallCycle())
 		}
 		res.RecoveryStallCycles += n
+		if h := hooks.Load(); h != nil && h.StallCycles != nil {
+			h.StallCycles.Add(n)
+		}
 	}
 
 	// Livelock guard: generous enough for any sane scheme (each emergency
@@ -342,12 +346,38 @@ func RunCtx(ctx context.Context, cfg Config, streams []workload.Stream, usefulCy
 		isBelow := vObs < threshold
 		if isBelow && !below {
 			res.Emergencies++
+			h := hooks.Load()
+			if h != nil {
+				if h.Emergencies != nil {
+					h.Emergencies.Inc()
+				}
+				if h.Trace != nil {
+					h.Trace.Emit(telemetry.Event{
+						Kind:   "failsafe.emergency",
+						ID:     cfg.Scheme.Kind.String(),
+						Value:  vObs,
+						Detail: fmt.Sprintf("committed=%d", committed),
+					})
+				}
+			}
 			switch cfg.Scheme.Kind {
 			case SchemeRazor:
 				// Detection at commit: the droop cycle's work stands,
 				// recovery is a fixed flush.
 				stall(cfg.Scheme.FlushCycles)
 				holdoff = cfg.HoldoffCycles
+				if h != nil {
+					if h.Flushes != nil {
+						h.Flushes.Inc()
+					}
+					if h.Trace != nil {
+						h.Trace.Emit(telemetry.Event{
+							Kind:  "failsafe.recovery",
+							ID:    "flush",
+							Value: float64(cfg.Scheme.FlushCycles),
+						})
+					}
+				}
 			case SchemeCheckpoint:
 				lost := committed - ckptCommitted
 				if err := chip.RestoreArch(ckpt); err != nil {
@@ -360,6 +390,21 @@ func RunCtx(ctx context.Context, cfg Config, streams []workload.Stream, usefulCy
 				// re-arm latency; this is what guarantees the committed
 				// high-water mark strictly grows.
 				holdoff = lost + cfg.HoldoffCycles
+				if h != nil {
+					if h.Rollbacks != nil {
+						h.Rollbacks.Inc()
+					}
+					if h.ReplayedCycles != nil {
+						h.ReplayedCycles.Add(lost)
+					}
+					if h.Trace != nil {
+						h.Trace.Emit(telemetry.Event{
+							Kind:  "failsafe.recovery",
+							ID:    "rollback",
+							Value: float64(lost),
+						})
+					}
+				}
 			}
 			below = true // re-arm on the next rise above threshold
 			continue

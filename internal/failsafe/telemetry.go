@@ -1,0 +1,35 @@
+package failsafe
+
+import (
+	"sync/atomic"
+
+	"voltsmooth/internal/telemetry"
+)
+
+// Hooks is the recovery engine's telemetry surface. Every field may be
+// nil. Hook calls happen per emergency and per recovery — never inside the
+// per-cycle committed loop — and observe only: the engine's ledger and
+// counters are bit-identical with hooks installed or not.
+type Hooks struct {
+	// Emergencies counts detected margin crossings (each triggers one
+	// recovery).
+	Emergencies *telemetry.Counter
+	// Flushes counts Razor-style fixed-cost pipeline flushes.
+	Flushes *telemetry.Counter
+	// Rollbacks counts checkpoint restores.
+	Rollbacks *telemetry.Counter
+	// ReplayedCycles accumulates committed work destroyed by rollbacks.
+	ReplayedCycles *telemetry.Counter
+	// StallCycles accumulates cycles the machine spent frozen in recovery.
+	StallCycles *telemetry.Counter
+	// Trace receives one "failsafe.emergency" event per detected crossing
+	// (onset) and one "failsafe.recovery" event per completed recovery.
+	Trace *telemetry.Trace
+}
+
+var hooks atomic.Pointer[Hooks]
+
+// SetHooks installs (or, with nil, removes) the package's telemetry hooks
+// and returns the previously installed set. Typically wired once at
+// campaign start by internal/telemetry/wire.
+func SetHooks(h *Hooks) *Hooks { return hooks.Swap(h) }

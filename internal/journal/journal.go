@@ -32,6 +32,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"voltsmooth/internal/telemetry"
 )
 
 // FormatVersion is bumped whenever the record layout changes; a journal
@@ -251,6 +253,9 @@ func (j *Journal) LookupInto(key string, v any) bool {
 		j.warn("record %q does not decode into %T, recomputing: %v", key, v, err)
 		return false
 	}
+	if h := hooks.Load(); h != nil && h.Replays != nil {
+		h.Replays.Inc()
+	}
 	return true
 }
 
@@ -289,6 +294,14 @@ func (j *Journal) Record(key string, v any) error {
 
 	if hook != nil {
 		hook(n, key)
+	}
+	if h := hooks.Load(); h != nil {
+		if h.Appends != nil {
+			h.Appends.Inc()
+		}
+		if h.Trace != nil {
+			h.Trace.Emit(telemetry.Event{Kind: "journal.append", ID: key, Value: float64(n)})
+		}
 	}
 	return nil
 }

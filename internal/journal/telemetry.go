@@ -1,0 +1,28 @@
+package journal
+
+import (
+	"sync/atomic"
+
+	"voltsmooth/internal/telemetry"
+)
+
+// Hooks is the journal's telemetry surface. Every field may be nil. Hook
+// calls happen per record (append or replay), after the record is durably
+// flushed, and observe only: what the journal writes and replays is
+// bit-identical with hooks installed or not.
+type Hooks struct {
+	// Appends counts records durably written by Record.
+	Appends *telemetry.Counter
+	// Replays counts LookupInto hits — units served from the journal
+	// instead of being recomputed.
+	Replays *telemetry.Counter
+	// Trace receives one "journal.append" event per durable record.
+	Trace *telemetry.Trace
+}
+
+var hooks atomic.Pointer[Hooks]
+
+// SetHooks installs (or, with nil, removes) the package's telemetry hooks
+// and returns the previously installed set. Typically wired once at
+// campaign start by internal/telemetry/wire.
+func SetHooks(h *Hooks) *Hooks { return hooks.Swap(h) }

@@ -425,6 +425,9 @@ func (n *Network) StepCycle(cycleTime, iLoad float64, substeps int) float64 {
 	for i := 0; i < substeps; i++ {
 		v = n.Step(dt, iLoad)
 	}
+	if c := stepCounter.Load(); c != nil {
+		c.Add(uint64(substeps))
+	}
 	return v
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"voltsmooth/internal/counters"
 	"voltsmooth/internal/sense"
+	"voltsmooth/internal/telemetry"
 	"voltsmooth/internal/uarch"
 	"voltsmooth/internal/workload"
 )
@@ -263,6 +264,7 @@ func runOnline(ctx context.Context, cfg OnlineConfig, jobs []*Job, policy Online
 		return out
 	}
 
+	prevA, prevB := -2, -2 // sentinel: no quantum scheduled yet (-1 means idle core)
 	for {
 		view := runnable()
 		if len(view) == 0 {
@@ -279,6 +281,25 @@ func runOnline(ctx context.Context, cfg OnlineConfig, jobs []*Job, policy Online
 		}
 		a, b := policy.Pick(view)
 		validatePick(view, a, b)
+		if h := hooks.Load(); h != nil {
+			if h.Quanta != nil {
+				h.Quanta.Inc()
+			}
+			if prevA != -2 && (a != prevA || b != prevB) {
+				if h.Swaps != nil {
+					h.Swaps.Inc()
+				}
+				if h.Trace != nil {
+					h.Trace.Emit(telemetry.Event{
+						Kind:   "sched.swap",
+						ID:     policy.Name(),
+						Detail: fmt.Sprintf("%d+%d->%d+%d", prevA, prevB, a, b),
+						Value:  float64(res.Quanta),
+					})
+				}
+			}
+		}
+		prevA, prevB = a, b
 
 		assign := func(coreID, jobID int) counters.Counters {
 			if jobID < 0 {
@@ -343,6 +364,9 @@ func finish(res *OnlineResult, scope *sense.Scope, cfg OnlineConfig) {
 	res.Emergencies = scope.Crossings(cfg.Margin)
 	if res.TotalCycles > 0 {
 		res.DroopsPerKc = 1000 * float64(res.Emergencies) / float64(res.TotalCycles)
+	}
+	if h := hooks.Load(); h != nil && h.Emergencies != nil {
+		h.Emergencies.Add(res.Emergencies)
 	}
 }
 

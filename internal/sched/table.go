@@ -163,6 +163,11 @@ func BuildPairTableCtx(ctx context.Context, cfg BuildConfig, profiles []workload
 	if progress == nil {
 		progress = func(string) {}
 	}
+	cellDone := func() {
+		if h := hooks.Load(); h != nil && h.Cells != nil {
+			h.Cells.Inc()
+		}
+	}
 	if err := parallel.SweepCtx(ctx, cfg.Workers, n, func(i int) {
 		name := profiles[i].Name
 		if cfg.Cache != nil {
@@ -170,6 +175,7 @@ func BuildPairTableCtx(ctx context.Context, cfg BuildConfig, profiles []workload
 				t.SingleDroops[i] = c.Droops
 				t.SingleIPC[i] = c.IPC
 				progress("single/" + name)
+				cellDone()
 				return
 			}
 		}
@@ -180,6 +186,7 @@ func BuildPairTableCtx(ctx context.Context, cfg BuildConfig, profiles []workload
 			cfg.Cache.StoreSingle(name, SingleCell{Droops: t.SingleDroops[i], IPC: t.SingleIPC[i]})
 		}
 		progress("single/" + name)
+		cellDone()
 	}); err != nil {
 		return nil, err
 	}
@@ -194,6 +201,7 @@ func BuildPairTableCtx(ctx context.Context, cfg BuildConfig, profiles []workload
 				t.IPC[i][j] = c.IPC
 				t.Runs[i][j] = c.Run
 				progress("pair/" + a + "+" + b)
+				cellDone()
 				return
 			}
 		}
@@ -207,6 +215,7 @@ func BuildPairTableCtx(ctx context.Context, cfg BuildConfig, profiles []workload
 			cfg.Cache.StorePair(a, b, PairCell{Droops: t.Droops[i][j], IPC: t.IPC[i][j], Run: t.Runs[i][j]})
 		}
 		progress("pair/" + a + "+" + b)
+		cellDone()
 	}); err != nil {
 		return nil, err
 	}

@@ -45,10 +45,8 @@ func NewScope(vnom float64, margins []float64) *Scope {
 	ms := make([]float64, len(margins))
 	copy(ms, margins)
 	sort.Float64s(ms)
-	for _, m := range ms {
-		if m <= 0 || m >= 1 {
-			panic(fmt.Sprintf("sense: margin %g outside (0,1)", m))
-		}
+	if err := validateMargins(ms); err != nil {
+		panic(err.Error())
 	}
 	thr := make([]float64, len(ms))
 	for i, m := range ms {
@@ -62,6 +60,23 @@ func NewScope(vnom float64, margins []float64) *Scope {
 		below:     make([]bool, len(ms)),
 		crossings: make([]uint64, len(ms)),
 	}
+}
+
+// validateMargins checks the invariant every Scope holds: margins strictly
+// ascending, each inside (0,1). Duplicates are rejected — two identical
+// thresholds would double-count every crossing. NewScope panics on a
+// violation (its callers pass literals); UnmarshalJSON returns the error
+// (its input is a journal file).
+func validateMargins(ms []float64) error {
+	for i, m := range ms {
+		if m <= 0 || m >= 1 {
+			return fmt.Errorf("sense: margin %g outside (0,1)", m)
+		}
+		if i > 0 && ms[i-1] >= m {
+			return fmt.Errorf("sense: margins not strictly ascending (%g then %g)", ms[i-1], m)
+		}
+	}
+	return nil
 }
 
 // VNom returns the nominal voltage the scope was built for.

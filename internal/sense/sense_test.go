@@ -91,6 +91,15 @@ func TestCrossingsUnknownMarginPanics(t *testing.T) {
 	NewScope(1.0, []float64{0.04}).Crossings(0.05)
 }
 
+func TestNewScopeRejectsDuplicateMargins(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewScope(1.0, []float64{0.04, 0.01, 0.04})
+}
+
 func TestFractionBeyond(t *testing.T) {
 	s := NewScope(1.0, nil)
 	for i := 0; i < 99; i++ {

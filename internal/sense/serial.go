@@ -46,13 +46,12 @@ func (s *Scope) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("sense: scope state with mismatched margin arrays (%d margins, %d below, %d crossings)",
 			len(st.Margins), len(st.Below), len(st.Crossings))
 	}
-	for i, m := range st.Margins {
-		if m <= 0 || m >= 1 {
-			return fmt.Errorf("sense: scope state margin %g outside (0,1)", m)
-		}
-		if i > 0 && st.Margins[i-1] > m {
-			return fmt.Errorf("sense: scope state margins not ascending")
-		}
+	// Restore is exactly as strict as construction: a margin list NewScope
+	// would reject (out of range, unsorted, or duplicated) is rejected here
+	// too, so no journal payload can smuggle in a scope that could not have
+	// been built live.
+	if err := validateMargins(st.Margins); err != nil {
+		return err
 	}
 	thr := make([]float64, len(st.Margins))
 	for i, m := range st.Margins {

@@ -73,6 +73,14 @@ func TestScopeUnmarshalRejectsGarbage(t *testing.T) {
 		`{"vnom":1.0,"margins":[0.04,0.01],"below":[false,false],"crossings":[0,0],"hist":{"lo":-20,"hi":20,"counts":[0],"total":0,"sum":0}}`,
 		`{"vnom":1.0,"margins":[0.01],"below":[],"crossings":[0],"hist":{"lo":-20,"hi":20,"counts":[0],"total":0,"sum":0}}`,
 		`{"vnom":1.0,"hist":{"lo":-20,"hi":20,"counts":[3],"total":3,"sum":1}}`,
+		// Duplicate margins: two identical thresholds double-count every
+		// crossing, and NewScope could never have built this scope — restore
+		// must be exactly as strict as construction.
+		`{"vnom":1.0,"margins":[0.01,0.01],"below":[false,false],"crossings":[0,0],"hist":{"lo":-20,"hi":20,"counts":[0],"total":0,"sum":0}}`,
+		`{"vnom":1.0,"margins":[0.01,0.02,0.02,0.04],"below":[false,false,false,false],"crossings":[0,0,0,0],"hist":{"lo":-20,"hi":20,"counts":[0],"total":0,"sum":0}}`,
+		// Out-of-range margins.
+		`{"vnom":1.0,"margins":[0],"below":[false],"crossings":[0],"hist":{"lo":-20,"hi":20,"counts":[0],"total":0,"sum":0}}`,
+		`{"vnom":1.0,"margins":[1],"below":[false],"crossings":[0],"hist":{"lo":-20,"hi":20,"counts":[0],"total":0,"sum":0}}`,
 	} {
 		s := &Scope{}
 		if err := json.Unmarshal([]byte(bad), s); err == nil {

@@ -157,7 +157,12 @@ func (h *Histogram) CDF() []CDFPoint {
 }
 
 // Quantile returns the approximate q-quantile (0..1) from the buckets,
-// using the exact tracked min/max for the extremes.
+// using the exact tracked min/max for the extremes. Every result is
+// clamped into [Min(), Max()]: a quantile landing in the underflow bucket
+// reports the exact minimum (consistent with the q<=0 path — the samples
+// there are below Lo, and Min is the only exact statistic held for them),
+// and a bucket center in a sparsely filled edge bucket can never stray
+// outside the recorded sample range.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.total == 0 {
 		return 0
@@ -172,15 +177,27 @@ func (h *Histogram) Quantile(q float64) float64 {
 	var cum uint64
 	cum += h.underflow
 	if cum > target {
-		return h.Lo
+		return h.Min()
 	}
 	for i, c := range h.counts {
 		cum += c
 		if cum > target {
-			return h.bucketCenter(i)
+			return h.clampToRange(h.bucketCenter(i))
 		}
 	}
 	return h.Max()
+}
+
+// clampToRange bounds a bucket-derived estimate by the exact recorded
+// extremes. Callers guarantee total > 0.
+func (h *Histogram) clampToRange(x float64) float64 {
+	if x < h.min {
+		return h.min
+	}
+	if x > h.max {
+		return h.max
+	}
+	return x
 }
 
 // Merge adds all samples of other into h. Both histograms must have the

@@ -1,8 +1,10 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -163,6 +165,168 @@ func TestHistogramFractionBelowProperty(t *testing.T) {
 			}
 		}
 		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHistogramQuantileUnderflow pins the fix for the underflow path: a
+// quantile landing in the underflow bucket reports the exact minimum, not
+// the bucket floor Lo (which no recorded sample may equal).
+func TestHistogramQuantileUnderflow(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(-7)
+	h.Add(-5)
+	h.Add(-3)
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.99} {
+		if got := h.Quantile(q); got != -7 {
+			t.Errorf("all-underflow Quantile(%g) = %g, want Min() = -7", q, got)
+		}
+	}
+	if got := h.Quantile(1); got != -3 {
+		t.Errorf("all-underflow Quantile(1) = %g, want Max() = -3", got)
+	}
+}
+
+// TestHistogramQuantileOverflow mirrors the underflow case at the top: all
+// mass above Hi reports the exact maximum.
+func TestHistogramQuantileOverflow(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(12)
+	h.Add(15)
+	h.Add(40)
+	if got := h.Quantile(0); got != 12 {
+		t.Errorf("all-overflow Quantile(0) = %g, want Min() = 12", got)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got < 12 || got > 40 {
+			t.Errorf("all-overflow Quantile(%g) = %g outside [12, 40]", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileSingleSample: with one sample, every quantile is
+// that sample — the clamp pins bucket centers to the degenerate range.
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(4.2)
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 4.2 {
+			t.Errorf("single-sample Quantile(%g) = %g, want 4.2", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileWithinRangeProperty: for arbitrary streams mixing
+// in-range, underflow, and overflow samples, every quantile result lies in
+// [Min(), Max()] and is monotone in q.
+func TestHistogramQuantileWithinRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram(-1, 1, 16)
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			h.Add(3 * rng.NormFloat64()) // plenty of under/overflow
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < h.Min() || v > h.Max() {
+				return false
+			}
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHistogramFractionBelowBoundaries pins the documented attribution
+// semantics: bucket contents count by their bucket's upper edge (exact at
+// edges, conservative inside a bucket), underflow counts from x = Lo on,
+// and overflow only once x passes the exact maximum.
+func TestHistogramFractionBelowBoundaries(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(1.0) // lands in bucket [1,2)
+	if got := h.FractionBelow(1.0); got != 0 {
+		t.Errorf("FractionBelow(1.0) = %g, want 0 (sample at 1.0 is not strictly below)", got)
+	}
+	if got := h.FractionBelow(2.0); got != 1 {
+		t.Errorf("FractionBelow(2.0) = %g, want 1 (bucket [1,2) resolved at its upper edge)", got)
+	}
+
+	u := NewHistogram(0, 10, 10)
+	u.Add(-1)
+	if got := u.FractionBelow(0); got != 1 {
+		t.Errorf("FractionBelow(Lo) = %g, want 1 (underflow is strictly below Lo)", got)
+	}
+	if got := u.FractionBelow(-0.5); got != 0 {
+		t.Errorf("FractionBelow(-0.5) = %g, want 0 (below Lo nothing is attributable)", got)
+	}
+
+	o := NewHistogram(0, 10, 10)
+	o.Add(15)
+	if got := o.FractionBelow(12); got != 0 {
+		t.Errorf("FractionBelow(12) = %g, want 0 (overflow counts only past the exact max)", got)
+	}
+	if got := o.FractionBelow(15.5); got != 1 {
+		t.Errorf("FractionBelow(15.5) = %g, want 1", got)
+	}
+}
+
+// TestHistogramRoundTripMergeBitIdentical is the journal's core guarantee
+// at the stats layer, as a property: marshaling a histogram to JSON,
+// restoring it, and merging the restored copy produces a result
+// bit-identical (reflect.DeepEqual on all internal state, == on every
+// float statistic) to merging the live histogram.
+func TestHistogramRoundTripMergeBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		live := NewHistogram(-2, 2, 32)
+		n := rng.Intn(400) // zero-sample histograms must round-trip too
+		for i := 0; i < n; i++ {
+			live.Add(3 * rng.NormFloat64())
+		}
+
+		data, err := json.Marshal(live)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored := &Histogram{}
+		if err := json.Unmarshal(data, restored); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(live, restored) {
+			return false
+		}
+
+		base := func() *Histogram {
+			h := NewHistogram(-2, 2, 32)
+			for i := 0; i < 100; i++ {
+				h.Add(float64(i%40)/10 - 2)
+			}
+			return h
+		}
+		a, b := base(), base()
+		a.Merge(live)
+		b.Merge(restored)
+		if !reflect.DeepEqual(a, b) {
+			return false
+		}
+		// Spot-check the derived statistics bit-for-bit (== on float64).
+		for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+			if a.Quantile(q) != b.Quantile(q) {
+				return false
+			}
+		}
+		return a.Mean() == b.Mean() && a.Min() == b.Min() && a.Max() == b.Max() &&
+			a.FractionBelow(0.5) == b.FractionBelow(0.5)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

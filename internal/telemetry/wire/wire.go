@@ -1,0 +1,126 @@
+// Package wire connects a telemetry.Registry and Trace to every
+// instrumented package in one call. It exists as a separate package (rather
+// than methods on telemetry.Registry) so that internal/telemetry itself
+// stays dependency-free: telemetry imports only stats, the instrumented
+// packages import telemetry, and wire — at the top of the graph — imports
+// everything. That layering is what keeps the hook pattern cycle-free.
+package wire
+
+import (
+	"voltsmooth/internal/experiments"
+	"voltsmooth/internal/failsafe"
+	"voltsmooth/internal/journal"
+	"voltsmooth/internal/pdn"
+	"voltsmooth/internal/runner"
+	"voltsmooth/internal/sched"
+	"voltsmooth/internal/telemetry"
+)
+
+// Metric names registered by Install, grouped by owning package. They are
+// exported so status displays and tests reference the same strings as the
+// wiring.
+const (
+	PDNSteps = "pdn.steps"
+
+	SchedQuanta      = "sched.quanta"
+	SchedSwaps       = "sched.swaps"
+	SchedEmergencies = "sched.emergencies"
+	SchedCells       = "sched.cells"
+
+	FailsafeEmergencies    = "failsafe.emergencies"
+	FailsafeFlushes        = "failsafe.flushes"
+	FailsafeRollbacks      = "failsafe.rollbacks"
+	FailsafeReplayedCycles = "failsafe.replayed_cycles"
+	FailsafeStallCycles    = "failsafe.stall_cycles"
+
+	RunnerAttempts  = "runner.attempts"
+	RunnerRetries   = "runner.retries"
+	RunnerStalls    = "runner.stalls"
+	RunnerAborts    = "runner.aborts"
+	RunnerFailures  = "runner.failures"
+	RunnerCompleted = "runner.completed"
+	RunnerInFlight  = "runner.inflight"
+
+	JournalAppends = "journal.appends"
+	JournalReplays = "journal.replays"
+
+	ExpCompleted   = "exp.completed"
+	ExpUnits       = "exp.units"
+	ExpEmergencies = "exp.emergencies"
+	ExpWallMS      = "exp.wall_ms"
+)
+
+// Install wires reg and tr into every instrumented package — pdn, sched,
+// failsafe, runner, journal, experiments — and returns an uninstall
+// function that restores whatever hooks were installed before. Either
+// argument may be nil to wire only metrics or only tracing. Installing is
+// process-global (the hooks are package-level), so a campaign wires once at
+// startup; concurrent campaigns in one process share the registry.
+func Install(reg *telemetry.Registry, tr *telemetry.Trace) func() {
+	counter := func(name string) *telemetry.Counter {
+		if reg == nil {
+			return nil
+		}
+		return reg.Counter(name)
+	}
+	gauge := func(name string) *telemetry.Gauge {
+		if reg == nil {
+			return nil
+		}
+		return reg.Gauge(name)
+	}
+	timing := func(name string) *telemetry.Timing {
+		if reg == nil {
+			return nil
+		}
+		return reg.Timing(name)
+	}
+
+	prevStep := pdn.SetStepCounter(counter(PDNSteps))
+	prevSched := sched.SetHooks(&sched.Hooks{
+		Quanta:      counter(SchedQuanta),
+		Swaps:       counter(SchedSwaps),
+		Emergencies: counter(SchedEmergencies),
+		Cells:       counter(SchedCells),
+		Trace:       tr,
+	})
+	prevFailsafe := failsafe.SetHooks(&failsafe.Hooks{
+		Emergencies:    counter(FailsafeEmergencies),
+		Flushes:        counter(FailsafeFlushes),
+		Rollbacks:      counter(FailsafeRollbacks),
+		ReplayedCycles: counter(FailsafeReplayedCycles),
+		StallCycles:    counter(FailsafeStallCycles),
+		Trace:          tr,
+	})
+	prevRunner := runner.SetHooks(&runner.Hooks{
+		Attempts:  counter(RunnerAttempts),
+		Retries:   counter(RunnerRetries),
+		Stalls:    counter(RunnerStalls),
+		Aborts:    counter(RunnerAborts),
+		Failures:  counter(RunnerFailures),
+		Completed: counter(RunnerCompleted),
+		InFlight:  gauge(RunnerInFlight),
+		Trace:     tr,
+	})
+	prevJournal := journal.SetHooks(&journal.Hooks{
+		Appends: counter(JournalAppends),
+		Replays: counter(JournalReplays),
+		Trace:   tr,
+	})
+	prevExp := experiments.SetHooks(&experiments.Hooks{
+		Experiments: counter(ExpCompleted),
+		Units:       counter(ExpUnits),
+		Emergencies: counter(ExpEmergencies),
+		WallTime:    timing(ExpWallMS),
+		Trace:       tr,
+	})
+
+	return func() {
+		pdn.SetStepCounter(prevStep)
+		sched.SetHooks(prevSched)
+		failsafe.SetHooks(prevFailsafe)
+		runner.SetHooks(prevRunner)
+		journal.SetHooks(prevJournal)
+		experiments.SetHooks(prevExp)
+	}
+}

@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"context"
+	"testing"
+
+	"voltsmooth/internal/experiments"
+	"voltsmooth/internal/telemetry"
+)
+
+// TestInstallUninstallRestoresPrevious checks that the uninstall closure
+// restores whatever hooks were installed before (here: none).
+func TestInstallUninstallRestoresPrevious(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTrace(16)
+	uninstall := Install(reg, tr)
+	uninstall()
+
+	reg2 := telemetry.NewRegistry()
+	uninstall2 := Install(reg2, nil)
+	defer uninstall2()
+	if got := reg2.Counter(PDNSteps).Load(); got != 0 {
+		t.Fatalf("fresh registry counter nonzero: %d", got)
+	}
+}
+
+// TestTelemetryOutputBitIdentical is the determinism gate the telemetry
+// layer is designed around: running an experiment with the full hook set
+// installed must render byte-for-byte the same text as running it with
+// telemetry off. The chosen experiments cover every instrumented package —
+// fig7 (corpus measurement: pdn steps, experiment units), fig16 (online
+// sliding-window scheduler), fig18 (pair table cells), figx-recovery
+// (failsafe emergencies, flushes, rollbacks).
+func TestTelemetryOutputBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several tiny-scale experiments twice")
+	}
+	for _, id := range []string{"fig7", "fig16", "fig18", "figx-recovery"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := experiments.Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func() string {
+				s := experiments.NewSession(experiments.Tiny())
+				r, err := s.Run(context.Background(), e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r.Render()
+			}
+
+			off := render()
+
+			reg := telemetry.NewRegistry()
+			tr := telemetry.NewTrace(0)
+			uninstall := Install(reg, tr)
+			on := render()
+			uninstall()
+
+			if off != on {
+				t.Fatalf("%s output changed with telemetry installed:\n--- off ---\n%s\n--- on ---\n%s", id, off, on)
+			}
+			// The run must actually have been observed, or the comparison
+			// proves nothing.
+			s := reg.Snapshot()
+			if s.Counters[ExpCompleted] == 0 || s.Counters[PDNSteps] == 0 {
+				t.Fatalf("%s ran with hooks installed but telemetry saw nothing: %+v", id, s.Counters)
+			}
+			if tr.Total() == 0 {
+				t.Fatalf("%s emitted no trace events", id)
+			}
+		})
+	}
+}
+
+// TestTelemetryCoversInstrumentedPackages asserts each hooked subsystem
+// reports activity under an experiment known to exercise it.
+func TestTelemetryCoversInstrumentedPackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs tiny-scale experiments")
+	}
+	cases := []struct {
+		id       string
+		counters []string
+	}{
+		{"fig7", []string{PDNSteps, ExpUnits, ExpCompleted}},
+		{"ext1", []string{PDNSteps, SchedQuanta, ExpCompleted}},
+		{"fig18", []string{SchedCells, ExpCompleted}},
+		{"figx-recovery", []string{FailsafeEmergencies, SchedQuanta, ExpCompleted}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.id, func(t *testing.T) {
+			e, err := experiments.Lookup(tc.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := telemetry.NewRegistry()
+			uninstall := Install(reg, telemetry.NewTrace(0))
+			defer uninstall()
+			s := experiments.NewSession(experiments.Tiny())
+			if _, err := s.Run(context.Background(), e); err != nil {
+				t.Fatal(err)
+			}
+			snap := reg.Snapshot()
+			for _, name := range tc.counters {
+				if snap.Counters[name] == 0 {
+					t.Errorf("%s: counter %s stayed zero; snapshot: %+v", tc.id, name, snap.Counters)
+				}
+			}
+		})
+	}
+}
