@@ -1,0 +1,41 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"voltsmooth/internal/chaos/soak"
+)
+
+// runChaosSoak drives the kill–resume soak harness (internal/chaos/soak)
+// from the CLI: N seeded loops of the given experiments, each attacked by
+// an injected filesystem and cut down at a seeded kill-point, then
+// resumed and verified bit-identical. The report goes to stdout; any
+// invariant violation makes the run fail with the seed that replays it.
+func runChaosSoak(ctx context.Context, cfg runConfig, loops int, seed int64, ids []string) error {
+	dir, err := os.MkdirTemp("", "vsmooth-chaos-")
+	if err != nil {
+		return fmt.Errorf("chaos soak scratch dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	rep, err := soak.Run(ctx, soak.Config{
+		Entries: ids,
+		Loops:   loops,
+		Seed:    seed,
+		Scale:   cfg.scaleName,
+		Workers: cfg.workers,
+		Dir:     dir,
+	}, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "vsmooth: "+format+"\n", args...)
+	})
+	if err != nil {
+		return fmt.Errorf("chaos soak: %w", err)
+	}
+	fmt.Print(rep)
+	if v := rep.Violations(); len(v) > 0 {
+		return fmt.Errorf("chaos soak: %d invariant violation(s)", len(v))
+	}
+	return nil
+}

@@ -30,6 +30,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -54,6 +55,9 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve live campaign metrics (expvar JSON at /debug/vars) and pprof on this address (e.g. 127.0.0.1:6060)")
 	tracePath := flag.String("trace", "", "export the campaign event trace to this file (JSONL) at exit")
 	status := flag.Duration("status", 0, "print a one-line campaign status to stderr at this interval (0 = off)")
+	chaosSoak := flag.Int("chaos-soak", 0,
+		"run N kill–resume soak loops under fault injection instead of a normal campaign (0 = off)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "base seed for -chaos-soak; loop i replays as -chaos-soak 1 -chaos-seed seed+i")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -98,6 +102,15 @@ func main() {
 			tracePath:   *tracePath,
 			status:      *status,
 		}
+		if *chaosSoak > 0 {
+			ctx, caught, release := signalContext(context.Background())
+			err := runChaosSoak(ctx, cfg, *chaosSoak, *chaosSeed, args[1:])
+			release()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vsmooth:", err)
+			}
+			os.Exit(exitCode(caught(), err))
+		}
 		// Telemetry resources (metrics listener, trace file) are claimed
 		// before any simulation: an unopenable address or path is a config
 		// error, reported like one.
@@ -105,15 +118,66 @@ func main() {
 		if err != nil {
 			fatalUsage(err.Error())
 		}
-		if err := run(cfg, args[1:], tel); err != nil {
+		// The signal context is installed before the campaign so that a
+		// SIGINT/SIGTERM at any point — even mid-telemetry-flush — maps to
+		// the shell-convention exit code 128+signum (130, 143).
+		ctx, caught, release := signalContext(context.Background())
+		err = run(ctx, cfg, args[1:], tel)
+		release()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "vsmooth:", err)
-			os.Exit(1)
 		}
+		os.Exit(exitCode(caught(), err))
 	default:
 		fmt.Fprintf(os.Stderr, "vsmooth: unknown command %q\n", args[0])
 		usage()
 		os.Exit(2)
 	}
+}
+
+// signalContext returns a context cancelled on SIGINT/SIGTERM, a getter
+// for the signal that was caught (nil if none), and a release function
+// that detaches the handler. A second signal while the first is still
+// unwinding kills the process the default way — the escape hatch for a
+// campaign stuck in shutdown.
+func signalContext(parent context.Context) (context.Context, func() os.Signal, func()) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	var caught atomic.Value
+	go func() {
+		select {
+		case sig := <-ch:
+			caught.Store(sig)
+			signal.Stop(ch)
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	get := func() os.Signal {
+		sig, _ := caught.Load().(os.Signal)
+		return sig
+	}
+	release := func() {
+		signal.Stop(ch)
+		cancel()
+	}
+	return ctx, get, release
+}
+
+// exitCode maps a campaign outcome to the process exit code the way a
+// shell would: 128+signum when a signal ended the run (130 for SIGINT,
+// 143 for SIGTERM), 1 for any other failure, 0 on success. The signal
+// takes precedence over the error because an interrupted campaign always
+// also reports an "interrupted" error.
+func exitCode(sig os.Signal, err error) int {
+	if s, ok := sig.(syscall.Signal); ok {
+		return 128 + int(s)
+	}
+	if err != nil {
+		return 1
+	}
+	return 0
 }
 
 // fatalUsage reports a configuration error the way flag parsing does:
@@ -142,7 +206,9 @@ degraded-sensor run is reproducible bit-for-bit.
 Campaign supervision: -timeout bounds the whole run, -exp-timeout each
 attempt, -retries the attempts per experiment, and -stall arms a
 watchdog that cancels and retries experiments making no progress.
-Ctrl-C / SIGTERM stop gracefully: completed figures still render.
+Ctrl-C / SIGTERM stop gracefully: completed figures still render, the
+telemetry trace is flushed, and the process exits 128+signum (130 for
+SIGINT, 143 for SIGTERM).
 
 -journal FILE checkpoints every completed measurement; after an
 interrupt, -resume continues from the last completed unit and produces
@@ -156,6 +222,12 @@ campaign event trace (emergencies, recoveries, scheduler swaps, retries,
 journal appends) as JSONL at exit; -status DUR prints a one-line
 progress summary to stderr at that interval. All telemetry output goes
 to stderr, the trace file, or the HTTP endpoint — never stdout.
+
+Chaos soak: -chaos-soak N runs N seeded kill–resume loops of the given
+experiments under fault injection (torn writes, ENOSPC, failed fsyncs,
+read bit-flips) and asserts the resumed output is bit-identical to an
+undisturbed run. Violations print the seed that replays them:
+-chaos-soak 1 -chaos-seed SEED reruns exactly that loop.
 `)
 }
 
@@ -181,7 +253,7 @@ type runConfig struct {
 	status      time.Duration
 }
 
-func run(cfg runConfig, ids []string, tel *campaignTelemetry) error {
+func run(ctx context.Context, cfg runConfig, ids []string, tel *campaignTelemetry) error {
 	// The telemetry surface outlives the campaign by one step: the summary
 	// table and trace export happen after every figure has rendered.
 	defer func() {
@@ -230,11 +302,10 @@ func run(cfg runConfig, ids []string, tel *campaignTelemetry) error {
 		}
 	}
 
-	// Graceful shutdown: SIGINT/SIGTERM (and -timeout) cancel the root
-	// context; simulations unwind at their next run boundary, the journal
-	// keeps every unit completed so far, and completed figures render.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// Graceful shutdown: the caller's signal context (and -timeout) cancel
+	// the root context; simulations unwind at their next run boundary, the
+	// journal keeps every unit completed so far, and completed figures
+	// render.
 	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSignalHelper is not a test: it is the subprocess body for
+// TestSignalExitCodes, gated on an environment variable so a normal
+// `go test` run skips it. It mirrors main's run path — signal context
+// installed before the campaign, telemetry trace flushed by run's defer —
+// and exits with exitCode's verdict.
+func TestSignalHelper(t *testing.T) {
+	if os.Getenv("VSMOOTH_SIGNAL_HELPER") != "1" {
+		t.Skip("subprocess helper for TestSignalExitCodes")
+	}
+	cfg := runConfig{
+		scaleName: "tiny",
+		workers:   2,
+		retries:   1,
+		tracePath: os.Getenv("VSMOOTH_SIGNAL_TRACE"),
+	}
+	tel, err := startTelemetry(cfg)
+	if err != nil {
+		fmt.Println("HELPER_TELEMETRY_FAILED:", err)
+		os.Exit(3)
+	}
+	ctx, caught, release := signalContext(context.Background())
+	// The parent only signals after this line, so the handler is always
+	// installed first: no race between delivery and registration.
+	fmt.Println("HELPER_RUNNING")
+	err = run(ctx, cfg, []string{"fig7", "fig10"}, tel)
+	release()
+	os.Exit(exitCode(caught(), err))
+}
+
+// TestSignalExitCodes drives the real binary contract: SIGINT ends the
+// campaign with exit code 130 and SIGTERM with 143 (128+signum, shell
+// convention), and the telemetry trace file is still flushed on the way
+// out.
+func TestSignalExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess campaign test")
+	}
+	cases := []struct {
+		sig  syscall.Signal
+		want int
+	}{
+		{syscall.SIGINT, 130},
+		{syscall.SIGTERM, 143},
+	}
+	for _, tc := range cases {
+		t.Run(tc.sig.String(), func(t *testing.T) {
+			trace := filepath.Join(t.TempDir(), "trace.jsonl")
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, os.Args[0], "-test.run=TestSignalHelper$")
+			cmd.Env = append(os.Environ(),
+				"VSMOOTH_SIGNAL_HELPER=1",
+				"VSMOOTH_SIGNAL_TRACE="+trace)
+			cmd.Stderr = os.Stderr
+			stdout, err := cmd.StdoutPipe()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+
+			sc := bufio.NewScanner(stdout)
+			running := false
+			for sc.Scan() {
+				if sc.Text() == "HELPER_RUNNING" {
+					running = true
+					break
+				}
+			}
+			if !running {
+				cmd.Process.Kill()
+				cmd.Wait()
+				t.Fatal("helper never reported HELPER_RUNNING")
+			}
+			go func() {
+				// Drain so the helper never blocks on a full pipe.
+				for sc.Scan() {
+				}
+			}()
+
+			// Let the campaign get properly underway, then cut it down.
+			time.Sleep(300 * time.Millisecond)
+			if err := cmd.Process.Signal(tc.sig); err != nil {
+				t.Fatal(err)
+			}
+
+			err = cmd.Wait()
+			var exit *exec.ExitError
+			if !errors.As(err, &exit) {
+				t.Fatalf("helper exited cleanly (%v), want exit code %d", err, tc.want)
+			}
+			if got := exit.ExitCode(); got != tc.want {
+				t.Fatalf("exit code %d after %s, want %d", got, tc.sig, tc.want)
+			}
+			fi, err := os.Stat(trace)
+			if err != nil {
+				t.Fatalf("telemetry trace not flushed on %s: %v", tc.sig, err)
+			}
+			if fi.Size() == 0 {
+				t.Fatalf("telemetry trace empty after %s — shutdown skipped the flush", tc.sig)
+			}
+		})
+	}
+}

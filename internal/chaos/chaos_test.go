@@ -1,0 +1,208 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// drive runs one scripted op sequence — writes, periodic syncs, then a
+// chunked read-back — through a fault plane and returns the op-by-op
+// error outcomes.
+func drive(t *testing.T, fs *FS, path string) []string {
+	t.Helper()
+	var outcomes []string
+	note := func(op string, err error) {
+		outcomes = append(outcomes, fmt.Sprintf("%s:%v", op, err))
+	}
+
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		_, err := f.Write([]byte(fmt.Sprintf("record-%02d payload payload payload\n", i)))
+		note("write", err)
+		if i%3 == 2 {
+			note("sync", f.Sync())
+		}
+	}
+	f.Close()
+
+	r, err := fs.OpenRead(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	for {
+		n, err := r.Read(buf)
+		note(fmt.Sprintf("read[%d]", n), err)
+		outcomes = append(outcomes, string(buf[:n]))
+		if err != nil {
+			break
+		}
+	}
+	r.Close()
+	return outcomes
+}
+
+// TestPlanIsDeterministic: two planes with the same plan, driven through
+// the same op sequence, inject byte-identical faults — same errors at the
+// same ops, same fault tallies, same bytes on disk. This is the property
+// that makes every soak violation replayable from its seed.
+func TestPlanIsDeterministic(t *testing.T) {
+	plan := Plan{
+		Seed:               20260805,
+		TornWritePerMille:  150,
+		ShortWritePerMille: 150,
+		NoSpacePerMille:    100,
+		SyncFailPerMille:   250,
+		BitFlipPerMille:    300,
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	fsA, fsB := NewFS(plan, nil), NewFS(plan, nil)
+	outA := drive(t, fsA, filepath.Join(dirA, "f"))
+	outB := drive(t, fsB, filepath.Join(dirB, "f"))
+
+	if len(outA) != len(outB) {
+		t.Fatalf("op streams diverge in length: %d vs %d", len(outA), len(outB))
+	}
+	for i := range outA {
+		if outA[i] != outB[i] {
+			t.Fatalf("op %d diverges:\n  A: %s\n  B: %s", i, outA[i], outB[i])
+		}
+	}
+	cA, cB := fsA.Counts(), fsB.Counts()
+	for f, n := range cA {
+		if cB[f] != n {
+			t.Fatalf("fault %s injected %d times on A, %d on B", f, n, cB[f])
+		}
+	}
+	var injected int64
+	for f, n := range cA {
+		t.Logf("injected %s × %d", f, n)
+		injected += n
+	}
+	if injected == 0 {
+		t.Fatal("plan with heavy rates injected nothing — the draw is broken")
+	}
+	bytesA, _ := os.ReadFile(filepath.Join(dirA, "f"))
+	bytesB, _ := os.ReadFile(filepath.Join(dirB, "f"))
+	if string(bytesA) != string(bytesB) {
+		t.Fatal("identical plans left different bytes on disk")
+	}
+
+	// A different seed, same rates, must not reproduce the schedule.
+	plan.Seed = 1
+	fsC := NewFS(plan, nil)
+	outC := drive(t, fsC, filepath.Join(t.TempDir(), "f"))
+	same := len(outC) == len(outA)
+	if same {
+		for i := range outA {
+			if outA[i] != outC[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical fault schedule")
+	}
+}
+
+// TestKillPointFreezesPlane: once the kill-point fires, the plane behaves
+// like a dead process — every op on every handle fails with ErrKilled,
+// nothing more reaches disk, and the OnKill callback has run exactly once.
+func TestKillPointFreezesPlane(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	kills := 0
+	fs := NewFS(Plan{Seed: 7, KillAtOp: 5}, func() { kills++ })
+
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var killErr error
+	for i := 0; i < 4; i++ {
+		if _, err := f.Write([]byte("line\n")); err != nil {
+			killErr = err
+			break
+		}
+	}
+	if killErr == nil {
+		// Ops 1–4 are clean (no fault rates); op 5 is the kill.
+		_, killErr = f.Write([]byte("the killed write\n"))
+	}
+	if !errors.Is(killErr, ErrKilled) {
+		t.Fatalf("kill-point op returned %v, want ErrKilled", killErr)
+	}
+	if !fs.Killed() {
+		t.Fatal("Killed() false after the kill-point fired")
+	}
+	if kills != 1 {
+		t.Fatalf("OnKill ran %d times, want 1", kills)
+	}
+
+	frozen := size(t, path)
+	for i := 0; i < 5; i++ {
+		if _, err := f.Write([]byte("after death\n")); !errors.Is(err, ErrKilled) {
+			t.Fatalf("write after kill returned %v, want ErrKilled", err)
+		}
+		if err := f.Sync(); !errors.Is(err, ErrKilled) {
+			t.Fatalf("sync after kill returned %v, want ErrKilled", err)
+		}
+	}
+	if got := size(t, path); got != frozen {
+		t.Fatalf("file grew %d bytes after the kill-point", got-frozen)
+	}
+	if _, err := fs.OpenAppend(path); !errors.Is(err, ErrKilled) {
+		t.Fatalf("OpenAppend after kill returned %v", err)
+	}
+	if _, err := fs.OpenRead(path); !errors.Is(err, ErrKilled) {
+		t.Fatalf("OpenRead after kill returned %v", err)
+	}
+	if _, err := fs.Stat(path); !errors.Is(err, ErrKilled) {
+		t.Fatalf("Stat after kill returned %v", err)
+	}
+	if got := fs.Counts()[Kill]; got != 1 {
+		t.Fatalf("Counts()[Kill] = %d, want 1", got)
+	}
+	if kills != 1 {
+		t.Fatalf("OnKill ran %d times after post-kill ops, want still 1", kills)
+	}
+}
+
+// TestTornWritePersistsStrictPrefix: a torn write leaves strictly fewer
+// bytes than the buffer (otherwise it would not be torn) and reports the
+// failure.
+func TestTornWritePersistsStrictPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	fs := NewFS(Plan{Seed: 3, TornWritePerMille: 1000}, nil)
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	payload := []byte("0123456789abcdef0123456789abcdef\n")
+	n, err := f.Write(payload)
+	if !errors.Is(err, errTorn) {
+		t.Fatalf("torn write reported %v, want the torn-write error", err)
+	}
+	if n >= len(payload) {
+		t.Fatalf("torn write persisted %d of %d bytes — not torn", n, len(payload))
+	}
+	if got := size(t, path); got != int64(n) {
+		t.Fatalf("reported %d bytes persisted, file holds %d", n, got)
+	}
+}
+
+func size(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

@@ -1,0 +1,191 @@
+package chaos
+
+// Deterministic coverage of the journal's crash-consistency paths through
+// the injected filesystem — no real crash, no real disk fault, every run
+// identical. These are the unit-level halves of what the soak harness
+// exercises end to end.
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"voltsmooth/internal/journal"
+)
+
+// TestFsyncFailurePoisonsJournal pins the fsyncgate contract: the first
+// failed fsync poisons the journal permanently. Every later Record
+// returns the same sticky ErrJournalFailed without touching the
+// filesystem — a failed fsync may have dropped dirty pages, so retrying
+// it could silently "succeed" over lost data — and Close never re-syncs.
+func TestFsyncFailurePoisonsJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	fs := NewFS(Plan{Seed: 11, SyncFailPerMille: 1000}, nil)
+	j, err := journal.Open(path, journal.ConfigHash("cfg"),
+		journal.Options{FS: fs, SyncEvery: 1, Warn: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err1 := j.Record("unit/0", map[string]int{"n": 0})
+	if !errors.Is(err1, journal.ErrJournalFailed) {
+		t.Fatalf("first record under all-fsyncs-fail returned %v, want ErrJournalFailed", err1)
+	}
+	if !errors.Is(err1, ErrSyncFailed) {
+		t.Fatalf("poison error %v does not carry the injected fsync failure", err1)
+	}
+	if got := j.Failed(); !errors.Is(got, journal.ErrJournalFailed) {
+		t.Fatalf("Failed() = %v after poison", got)
+	}
+
+	// The sticky error must come back without a single further file op:
+	// no fsync retry, no append attempt.
+	ops := fs.Ops()
+	err2 := j.Record("unit/1", map[string]int{"n": 1})
+	if !errors.Is(err2, journal.ErrJournalFailed) {
+		t.Fatalf("second record returned %v, want sticky ErrJournalFailed", err2)
+	}
+	if err2.Error() != err1.Error() {
+		t.Fatalf("sticky error changed between records:\n  first:  %v\n  second: %v", err1, err2)
+	}
+	if got := fs.Ops(); got != ops {
+		t.Fatalf("poisoned journal touched the filesystem: %d ops grew to %d", ops, got)
+	}
+	if err := j.Sync(); !errors.Is(err, journal.ErrJournalFailed) {
+		t.Fatalf("Sync on poisoned journal returned %v", err)
+	}
+	if got := fs.Ops(); got != ops {
+		t.Fatalf("Sync on poisoned journal touched the filesystem: %d ops grew to %d", ops, got)
+	}
+	if got := fs.Counts()[SyncFail]; got != 1 {
+		t.Fatalf("fsync was attempted %d times, want exactly 1 (never retried)", got)
+	}
+
+	if err := j.Close(); !errors.Is(err, journal.ErrJournalFailed) {
+		t.Fatalf("Close on poisoned journal returned %v, want the sticky failure", err)
+	}
+	if got := fs.Ops(); got != ops {
+		t.Fatalf("Close re-flushed a poisoned journal: %d ops grew to %d", ops, got)
+	}
+}
+
+// TestKillMidAppendThenCleanResume scripts a kill-point mid-record and
+// proves the crash-consistency contract end to end: the records completed
+// before the kill resume intact on a clean filesystem, the torn tail the
+// kill left is truncated, and the repaired journal accepts appends that
+// survive a further resume.
+func TestKillMidAppendThenCleanResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	hash := journal.ConfigHash("cfg")
+
+	// Op budget: header flush = 1 op; each Record with SyncEvery=1 costs a
+	// flush-write plus an fsync. KillAtOp 6 therefore lands on record 3's
+	// flush: records 1 and 2 are durable, record 3 is torn mid-write.
+	fs := NewFS(Plan{Seed: 20260805, KillAtOp: 6}, nil)
+	j, err := journal.Open(path, hash, journal.Options{FS: fs, SyncEvery: 1, Warn: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var killed error
+	for i := 0; ; i++ {
+		if i > 10 {
+			t.Fatal("kill-point never fired")
+		}
+		if err := j.Record(fmt.Sprintf("unit/%d", i), map[string]int{"n": i}); err != nil {
+			killed = err
+			break
+		}
+	}
+	if !errors.Is(killed, journal.ErrJournalFailed) || !errors.Is(killed, ErrKilled) {
+		t.Fatalf("killed record returned %v, want ErrJournalFailed wrapping ErrKilled", killed)
+	}
+	j.Close()
+	if !fs.Killed() {
+		t.Fatal("plane not frozen after the kill")
+	}
+
+	// "Reboot": resume the file the kill left behind on the real
+	// filesystem, as the next process would.
+	var warnings []string
+	r, err := journal.Open(path, hash, journal.Options{Resume: true, Warn: func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}})
+	if err != nil {
+		t.Fatalf("clean resume refused the killed journal: %v", err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("resumed %d units, want the 2 completed before the kill (warnings: %q)", r.Len(), warnings)
+	}
+	var p map[string]int
+	for i := 0; i < 2; i++ {
+		if !r.LookupInto(fmt.Sprintf("unit/%d", i), &p) || p["n"] != i {
+			t.Fatalf("unit/%d lost across the kill", i)
+		}
+	}
+	tornWarned := false
+	for _, w := range warnings {
+		if strings.Contains(w, "torn tail") {
+			tornWarned = true
+		}
+	}
+	if !tornWarned {
+		t.Fatalf("kill left no torn-tail repair warning; got %q", warnings)
+	}
+	if err := r.Record("unit/2", map[string]int{"n": 2}); err != nil {
+		t.Fatalf("append after kill-repair: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := journal.Open(path, hash, journal.Options{Resume: true, Warn: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Len() != 3 {
+		t.Fatalf("second resume holds %d units, want 3", r2.Len())
+	}
+}
+
+// TestTornWritePoisonsButCleanResumeRecovers drives a scripted torn write
+// (not a kill: the plane stays alive) into the journal and confirms the
+// same degrade-then-recover story.
+func TestTornWritePoisonsButCleanResumeRecovers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	hash := journal.ConfigHash("cfg")
+	// Write the header through the real filesystem first, then reopen
+	// through an every-write-torn plane: the header survives, the first
+	// record is torn mid-line.
+	j0, err := journal.Open(path, hash, journal.Options{Warn: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFS(Plan{Seed: 5, TornWritePerMille: 1000}, nil)
+	j, err := journal.Open(path, hash, journal.Options{FS: fs, SyncEvery: 1, Resume: true, Warn: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = j.Record("unit/0", map[string]int{"n": 0})
+	if !errors.Is(err, journal.ErrJournalFailed) || !errors.Is(err, errTorn) {
+		t.Fatalf("record through all-writes-torn plane returned %v, want ErrJournalFailed wrapping the torn write", err)
+	}
+	j.Close()
+
+	r, err := journal.Open(path, hash, journal.Options{Resume: true, Warn: func(string, ...any) {}})
+	if err != nil {
+		t.Fatalf("clean resume refused the torn journal: %v", err)
+	}
+	defer r.Close()
+	if r.Len() != 0 {
+		t.Fatalf("torn record resumed as %d units, want 0 (it never completed)", r.Len())
+	}
+	if err := r.Record("unit/0", map[string]int{"n": 0}); err != nil {
+		t.Fatalf("append after torn-write repair: %v", err)
+	}
+}

@@ -1,0 +1,358 @@
+// Package soak is the kill–resume soak harness over the chaos fault
+// plane: it runs N seeded loops of a small campaign, each loop attacked
+// by an injected filesystem (torn writes, ENOSPC, failed fsyncs, read
+// bit-flips, latency) and cut down at a seeded kill-point, then resumed
+// in a fresh session on the clean filesystem — and asserts the final
+// figures are bit-identical to an undisturbed, journal-free run. Every
+// invariant violation is reported with the loop's seed, and loop i of a
+// soak with base seed S uses seed S+i, so a violation replays as loop 0
+// of a one-loop soak with that seed.
+package soak
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"voltsmooth/internal/chaos"
+	"voltsmooth/internal/experiments"
+	"voltsmooth/internal/journal"
+	"voltsmooth/internal/runner"
+)
+
+// Config shapes a soak.
+type Config struct {
+	// Entries lists the experiment IDs each loop's campaign runs; empty
+	// means {"fig7"} (the journal-heaviest single-corpus figure).
+	Entries []string
+	// Loops is the number of kill–resume–verify cycles; <= 0 means 5.
+	Loops int
+	// Seed is the base seed; loop i uses Seed+i for its fault plan, kill
+	// draw, and runner jitter.
+	Seed int64
+	// Scale names the experiment scale; empty means "tiny".
+	Scale string
+	// Workers is the per-session sweep fan-out; <= 0 means 4.
+	Workers int
+	// Dir is the scratch directory for per-loop journal files (required).
+	Dir string
+}
+
+// plan returns a fault-soup loop's intensities. The per-mille rates are
+// tuned so a tiny-scale campaign (~50–100 file ops) draws a few faults
+// per loop: enough that every loop is genuinely attacked, not so many
+// that the journal always dies on its first record.
+func (c Config) plan(seed int64) chaos.Plan {
+	return chaos.Plan{
+		Seed:               seed,
+		TornWritePerMille:  25,
+		ShortWritePerMille: 15,
+		NoSpacePerMille:    10,
+		SyncFailPerMille:   20,
+		BitFlipPerMille:    30,
+		LatencyPerMille:    50,
+		MaxLatency:         200 * time.Microsecond,
+	}
+}
+
+// Loop is one cycle's outcome.
+type Loop struct {
+	Loop     int
+	Seed     int64
+	KillAtOp int64
+	// Killed: the kill-point fired (the campaign was cut down mid-run).
+	Killed bool
+	// Degraded: the session dropped its journal after a poisoned write.
+	Degraded bool
+	// Faults tallies the phase-A injections by fault name.
+	Faults map[string]int64
+	// ResumedUnits is how many completed units the resume loaded.
+	ResumedUnits int
+	// Duplicates is the journal's duplicate-key count on resume.
+	Duplicates int
+	// Violations lists every invariant this loop broke (empty = clean).
+	Violations []string
+}
+
+// Report is the whole soak's outcome.
+type Report struct {
+	Entries []string
+	Units   int // units an undisturbed campaign journals
+	Ops     int64
+	Loops   []Loop
+}
+
+// Kills counts loops whose kill-point fired.
+func (r *Report) Kills() int {
+	n := 0
+	for _, l := range r.Loops {
+		if l.Killed {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalFaults sums every injected fault across loops.
+func (r *Report) TotalFaults() int64 {
+	var n int64
+	for _, l := range r.Loops {
+		for _, c := range l.Faults {
+			n += c
+		}
+	}
+	return n
+}
+
+// Violations flattens every loop's violations, each prefixed with its
+// replayable seed.
+func (r *Report) Violations() []string {
+	var out []string
+	for _, l := range r.Loops {
+		for _, v := range l.Violations {
+			out = append(out, fmt.Sprintf("loop %d (replay seed %d): %s", l.Loop, l.Seed, v))
+		}
+	}
+	return out
+}
+
+// String renders one loop's summary line.
+func (l Loop) String() string {
+	status := "ok"
+	if len(l.Violations) > 0 {
+		status = fmt.Sprintf("VIOLATED (%d)", len(l.Violations))
+	}
+	faults := make([]string, 0, len(l.Faults))
+	for _, f := range []chaos.Fault{chaos.TornWrite, chaos.ShortWrite, chaos.NoSpace, chaos.SyncFail, chaos.BitFlip, chaos.Latency} {
+		if c := l.Faults[f.String()]; c > 0 {
+			faults = append(faults, fmt.Sprintf("%s×%d", f, c))
+		}
+	}
+	return fmt.Sprintf("loop %d seed=%d kill@op %d killed=%v degraded=%v resumed=%d dup=%d faults=[%s]: %s",
+		l.Loop, l.Seed, l.KillAtOp, l.Killed, l.Degraded, l.ResumedUnits, l.Duplicates,
+		strings.Join(faults, " "), status)
+}
+
+// String renders the operator summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos soak: %d loop(s) over %s (%d units, %d file ops per undisturbed run)\n",
+		len(r.Loops), strings.Join(r.Entries, ","), r.Units, r.Ops)
+	for _, l := range r.Loops {
+		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	if v := r.Violations(); len(v) > 0 {
+		fmt.Fprintf(&b, "%d violation(s):\n", len(v))
+		for _, s := range v {
+			fmt.Fprintf(&b, "  %s\n", s)
+		}
+		fmt.Fprintf(&b, "replay one seed with: vsmooth -chaos-soak 1 -chaos-seed <seed> run %s\n",
+			strings.Join(r.Entries, " "))
+	}
+	return b.String()
+}
+
+// Run executes the soak. The returned error covers harness-level failures
+// (bad config, cancelled ctx, a broken reference run); campaign-level
+// invariant violations are reported in the Report, per loop, with the
+// seed that replays them.
+func Run(ctx context.Context, cfg Config, logf func(format string, args ...any)) (*Report, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("soak: Config.Dir is required")
+	}
+	if cfg.Loops <= 0 {
+		cfg.Loops = 5
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Scale == "" {
+		cfg.Scale = "tiny"
+	}
+	if len(cfg.Entries) == 0 {
+		cfg.Entries = []string{"fig7"}
+	}
+	scale, err := experiments.ScaleByName(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]experiments.Entry, 0, len(cfg.Entries))
+	for _, id := range cfg.Entries {
+		e, err := experiments.Lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+
+	newSession := func() *experiments.Session {
+		s := experiments.NewSession(scale)
+		s.Workers = cfg.Workers
+		s.Warn = func(format string, args ...any) { logf("soak: session: "+format, args...) }
+		return s
+	}
+
+	// Ground truth: one undisturbed, journal-free run of every entry.
+	logf("soak: reference run (%s, scale %s)", strings.Join(cfg.Entries, ","), scale.Name)
+	ref := newSession()
+	want := make([]string, len(entries))
+	for i, e := range entries {
+		r, err := ref.Run(ctx, e)
+		if err != nil {
+			return nil, fmt.Errorf("soak: reference %s: %w", e.ID, err)
+		}
+		want[i] = r.Render()
+	}
+
+	// Probe: one undisturbed journaled run through a fault-free plane, to
+	// learn the op space kills are drawn from — and to require that a
+	// journaled run already matches the reference bit for bit.
+	probeFS := chaos.NewFS(chaos.Plan{}, nil)
+	probePath := filepath.Join(cfg.Dir, "probe.jsonl")
+	probe := newSession()
+	pj, err := journal.Open(probePath, probe.ConfigFingerprint(),
+		journal.Options{FS: probeFS, SyncEvery: 1, Warn: logf})
+	if err != nil {
+		return nil, fmt.Errorf("soak: probe journal: %w", err)
+	}
+	probe.Journal = pj
+	for i, e := range entries {
+		r, err := probe.Run(ctx, e)
+		if err != nil {
+			return nil, fmt.Errorf("soak: probe %s: %w", e.ID, err)
+		}
+		if r.Render() != want[i] {
+			return nil, fmt.Errorf("soak: probe %s: journaled run differs from journal-free run", e.ID)
+		}
+	}
+	if err := pj.Close(); err != nil {
+		return nil, fmt.Errorf("soak: probe journal close: %w", err)
+	}
+	rep := &Report{Entries: cfg.Entries, Units: pj.Len(), Ops: probeFS.Ops()}
+	if rep.Ops < 8 {
+		return nil, fmt.Errorf("soak: probe saw only %d file ops; kill-points need room", rep.Ops)
+	}
+	logf("soak: probe: %d units, %d file ops", rep.Units, rep.Ops)
+
+	for i := 0; i < cfg.Loops; i++ {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		seed := cfg.Seed + int64(i)
+		rep.Loops = append(rep.Loops, runLoop(ctx, cfg, i, seed, rep.Ops, rep.Units, entries, want, newSession, logf))
+		logf("soak: %s", rep.Loops[len(rep.Loops)-1])
+	}
+	return rep, nil
+}
+
+// runLoop is one kill–resume–verify cycle.
+func runLoop(ctx context.Context, cfg Config, i int, seed int64, ops int64, units int,
+	entries []experiments.Entry, want []string, newSession func() *experiments.Session,
+	logf func(string, ...any)) Loop {
+
+	lr := Loop{Loop: i, Seed: seed}
+	rng := rand.New(rand.NewSource(seed))
+	// Each loop runs one of two attack flavors, chosen by the seed's
+	// parity (not the loop index, so replaying a seed replays its
+	// flavor). Even seeds script a pure kill: with no other fault able to
+	// poison the journal and freeze the op stream early, the kill-point
+	// is guaranteed to fire, and the loop soaks the crash half (torn
+	// tail, partial file, resume). Odd seeds arm the full fault soup with
+	// no kill: the journal is (almost always) poisoned mid-campaign and
+	// the loop soaks the degrade-and-continue half.
+	var plan chaos.Plan
+	if seed%2 == 0 {
+		lr.KillAtOp = 1 + rng.Int63n(ops)
+		plan = chaos.Plan{Seed: seed, KillAtOp: lr.KillAtOp}
+	} else {
+		plan = cfg.plan(seed)
+	}
+	path := filepath.Join(cfg.Dir, fmt.Sprintf("loop-%03d.jsonl", i))
+	violate := func(format string, args ...any) {
+		lr.Violations = append(lr.Violations, fmt.Sprintf(format, args...))
+	}
+
+	// Phase A: the attacked campaign. The kill-point cancels the root
+	// context, as a SIGKILL would stop the process; the chaos plane
+	// freezes the file at the same instant, so nothing written after the
+	// kill can reach disk.
+	actx, cancel := context.WithCancel(ctx)
+	fs := chaos.NewFS(plan, cancel)
+	s1 := newSession()
+	j1, err := journal.Open(path, s1.ConfigFingerprint(),
+		journal.Options{FS: fs, SyncEvery: 1, Warn: func(string, ...any) {}})
+	if err != nil {
+		// The header write itself drew a fault: the campaign never
+		// started. The resume phase must still recover the partial file.
+		logf("soak: loop %d: campaign refused to start (journal: %v)", i, err)
+	} else {
+		s1.Journal = j1
+		results, _ := runner.RunBatch(actx, s1, entries, runner.Config{
+			Workers:     len(entries),
+			MaxAttempts: 2,
+			BackoffBase: time.Millisecond,
+			BackoffMax:  4 * time.Millisecond,
+			Seed:        seed,
+		})
+		for _, r := range results {
+			// Under fault injection the only acceptable outcomes are
+			// success (faults degraded the journal, campaign finished)
+			// and abort (the kill-point fired). A permanent or exhausted
+			// failure means fault injection crashed the campaign instead
+			// of degrading it.
+			if r.Err != nil && !errors.Is(r.Err, runner.ErrAborted) {
+				violate("phase A: %s failed under fault injection instead of degrading: %v", r.ID, r.Err)
+			}
+		}
+		lr.Degraded = s1.JournalDegraded()
+		j1.Close()
+	}
+	cancel()
+	lr.Killed = fs.Killed()
+	lr.Faults = map[string]int64{}
+	for f, c := range fs.Counts() {
+		lr.Faults[f.String()] = c
+	}
+
+	// Phase B: resume on the clean filesystem in a fresh session — a new
+	// process as far as the journal can tell — and require bit-identical
+	// output. Resume tolerates everything phase A left behind: a torn
+	// tail (truncated), corrupt lines (skipped + recomputed), a missing
+	// file (fresh campaign).
+	s2 := newSession()
+	j2, err := journal.Open(path, s2.ConfigFingerprint(),
+		journal.Options{Resume: true, Warn: func(format string, args ...any) {
+			logf("soak: loop %d: resume: "+format, append([]any{i}, args...)...)
+		}})
+	if err != nil {
+		violate("phase B: resume refused the journal: %v", err)
+		return lr
+	}
+	s2.Journal = j2
+	lr.ResumedUnits = j2.Len()
+	lr.Duplicates = j2.Duplicates()
+	for k, e := range entries {
+		r, err := s2.Run(ctx, e)
+		if err != nil {
+			violate("phase B: resumed %s failed: %v", e.ID, err)
+			continue
+		}
+		if got := r.Render(); got != want[k] {
+			violate("phase B: resumed %s output differs from undisturbed run", e.ID)
+		}
+	}
+	if err := j2.Close(); err != nil {
+		violate("phase B: journal close: %v", err)
+	}
+	if n := j2.Len(); len(lr.Violations) == 0 && n != units {
+		violate("phase B: resumed journal holds %d units, undisturbed campaign %d", n, units)
+	}
+	return lr
+}

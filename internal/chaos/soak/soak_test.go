@@ -1,0 +1,62 @@
+package soak
+
+import (
+	"context"
+	"testing"
+)
+
+// TestChaosSoakShort is the CI soak: 5 seeded kill–resume loops of the
+// fig7 campaign under fault injection, each resumed on a clean
+// filesystem and required to render bit-identically to an undisturbed
+// run. Any violation fails the test with the seed that replays it. The
+// full (non-short) mode runs more loops over a wider entry set.
+func TestChaosSoakShort(t *testing.T) {
+	cfg := Config{
+		Entries: []string{"fig7"},
+		Loops:   5,
+		Seed:    20260805,
+		Dir:     t.TempDir(),
+	}
+	if !testing.Short() {
+		cfg.Loops = 8
+		cfg.Entries = []string{"fig7", "fig17"}
+	}
+
+	rep, err := Run(context.Background(), cfg, t.Logf)
+	if err != nil {
+		t.Fatalf("soak harness failed: %v", err)
+	}
+	if got := len(rep.Loops); got < 5 {
+		t.Fatalf("soak completed %d loops, want >= 5", got)
+	}
+	for _, v := range rep.Violations() {
+		t.Errorf("invariant violated: %s", v)
+	}
+	// The soak must be a genuine attack, not a calm walk: across the
+	// loops, kill-points must have fired and faults must have landed.
+	if rep.Kills() == 0 {
+		t.Error("no loop was killed — kill-points never fired")
+	}
+	if rep.TotalFaults() == 0 {
+		t.Error("no faults injected across the whole soak")
+	}
+	t.Logf("\n%s", rep)
+}
+
+// TestSoakViolationCarriesReplaySeed checks the reporting contract
+// without running a campaign: a loop's violations surface through the
+// report prefixed with the loop's seed, so an operator can replay
+// exactly that loop.
+func TestSoakViolationCarriesReplaySeed(t *testing.T) {
+	rep := &Report{Loops: []Loop{
+		{Loop: 0, Seed: 41},
+		{Loop: 1, Seed: 42, Violations: []string{"phase B: output differs"}},
+	}}
+	v := rep.Violations()
+	if len(v) != 1 {
+		t.Fatalf("got %d violations, want 1", len(v))
+	}
+	if want := "loop 1 (replay seed 42): phase B: output differs"; v[0] != want {
+		t.Fatalf("violation rendered as %q, want %q", v[0], want)
+	}
+}

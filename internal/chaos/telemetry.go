@@ -1,0 +1,28 @@
+package chaos
+
+import (
+	"sync/atomic"
+
+	"voltsmooth/internal/telemetry"
+)
+
+// Hooks is the fault plane's telemetry surface. Every field may be nil.
+// Hook calls happen once per injected fault, outside any simulation loop,
+// and observe only.
+type Hooks struct {
+	// Faults counts injected faults (torn/short writes, ENOSPC, failed
+	// fsyncs, bit-flips, latency), kill-points excluded.
+	Faults *telemetry.Counter
+	// Kills counts kill-points fired (at most one per FS).
+	Kills *telemetry.Counter
+	// Trace receives one "chaos.<fault>" event per injection, carrying
+	// the file name and the op index the fault landed on.
+	Trace *telemetry.Trace
+}
+
+var hooks atomic.Pointer[Hooks]
+
+// SetHooks installs (or, with nil, removes) the package's telemetry hooks
+// and returns the previously installed set. Typically wired once at
+// campaign start by internal/telemetry/wire.
+func SetHooks(h *Hooks) *Hooks { return hooks.Swap(h) }

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"voltsmooth/internal/chaos"
+	"voltsmooth/internal/journal"
+)
+
+// TestJournalFailureDegradesNotAborts pins the degradation contract: when
+// every fsync fails (fsyncgate), the journal poisons itself on the first
+// record — and the campaign continues journal-less instead of aborting,
+// warns the operator exactly once, and produces output bit-identical to a
+// journal-free run. Checkpointing is an optimization; results never
+// depend on it.
+func TestJournalFailureDegradesNotAborts(t *testing.T) {
+	e, err := Lookup("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	ref := NewSession(Tiny())
+	ref.Workers = 4
+	rr, err := ref.Run(ctx, e)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	want := rr.Render()
+
+	s := NewSession(Tiny())
+	s.Workers = 4
+	var mu sync.Mutex
+	var warnings []string
+	s.Warn = func(format string, args ...any) {
+		mu.Lock()
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	fs := chaos.NewFS(chaos.Plan{Seed: 9, SyncFailPerMille: 1000}, nil)
+	j, err := journal.Open(filepath.Join(t.TempDir(), "campaign.journal"), s.ConfigFingerprint(),
+		journal.Options{FS: fs, SyncEvery: 1, Warn: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	s.Journal = j
+
+	r, err := s.Run(ctx, e)
+	if err != nil {
+		t.Fatalf("campaign aborted on journal failure instead of degrading: %v", err)
+	}
+	if got := r.Render(); got != want {
+		t.Fatal("degraded campaign output differs from journal-free run")
+	}
+	if !s.JournalDegraded() {
+		t.Fatal("JournalDegraded() false after every fsync failed")
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("degradation warned %d times, want exactly once: %q", len(warnings), warnings)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("journal recorded %d units through a plane that fails every fsync", j.Len())
+	}
+}
+
+// TestDegradedSessionStopsTouchingJournal: after degradation the session
+// never calls the journal again — the sticky error is not re-surfaced per
+// unit, and no further file ops happen.
+func TestDegradedSessionStopsTouchingJournal(t *testing.T) {
+	e, err := Lookup("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(Tiny())
+	s.Workers = 1
+	s.Warn = func(string, ...any) {}
+	fs := chaos.NewFS(chaos.Plan{Seed: 9, SyncFailPerMille: 1000}, nil)
+	j, err := journal.Open(filepath.Join(t.TempDir(), "campaign.journal"), s.ConfigFingerprint(),
+		journal.Options{FS: fs, SyncEvery: 1, Warn: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	s.Journal = j
+
+	if _, err := s.Run(context.Background(), e); err != nil {
+		t.Fatalf("campaign failed: %v", err)
+	}
+	if !s.JournalDegraded() {
+		t.Fatal("session never degraded")
+	}
+	ops := fs.Ops()
+	// A second experiment on the same degraded session must not reach the
+	// filesystem at all.
+	if _, err := s.Run(context.Background(), e); err != nil {
+		t.Fatalf("second run on degraded session: %v", err)
+	}
+	if got := fs.Ops(); got != ops {
+		t.Fatalf("degraded session performed %d further file ops", got-ops)
+	}
+}

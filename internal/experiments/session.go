@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime/debug"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"voltsmooth/internal/core"
@@ -48,7 +50,21 @@ type Session struct {
 	// so an interrupted campaign resumes from its last completed unit.
 	// Open it against ConfigFingerprint(): the journal layer rejects a
 	// file recorded under any other configuration.
+	//
+	// A journal that poisons itself mid-campaign (a failed write or
+	// fsync — journal.ErrJournalFailed) degrades the session to
+	// journal-less execution with a single Warn message instead of
+	// aborting the campaign: checkpointing is an optimization, results
+	// never depend on it.
 	Journal *journal.Journal
+
+	// Warn receives campaign-level warnings (today: the journal-degrade
+	// notice); nil logs to stderr.
+	Warn func(format string, args ...any)
+
+	// journalDown latches once the journal has failed; lookups and
+	// records are skipped from then on.
+	journalDown atomic.Bool
 
 	corpora parallel.Group[string, *Corpus]
 	tables  parallel.Group[string, *sched.PairTable]
@@ -138,6 +154,58 @@ func (s *Session) ConfigFingerprint() string {
 		FaultClasses []string `json:"fault_classes"`
 		FaultSeed    uint64   `json:"fault_seed"`
 	}{s.Scale, s.FaultClasses, s.FaultSeed})
+}
+
+// JournalDegraded reports whether the session dropped its journal after a
+// write/fsync failure and is running journal-less.
+func (s *Session) JournalDegraded() bool { return s.journalDown.Load() }
+
+// lookupUnit replays a completed unit from the journal, if one is
+// attached and still healthy.
+func (s *Session) lookupUnit(key string, v any) bool {
+	if s.Journal == nil || s.journalDown.Load() {
+		return false
+	}
+	return s.Journal.LookupInto(key, v)
+}
+
+// recordUnit checkpoints one completed unit. A poisoned journal
+// (ErrJournalFailed — the file's durability is unknown and nothing more
+// will be written) degrades the session to journal-less execution with
+// one warning; the campaign keeps running, it just stops checkpointing.
+// Any other failure (a programming error: unmarshalable payload, write
+// after Close) still aborts, carrying its cause to Session.Run.
+func (s *Session) recordUnit(key string, v any) {
+	if s.Journal == nil || s.journalDown.Load() {
+		return
+	}
+	err := s.Journal.Record(key, v)
+	if err == nil {
+		return
+	}
+	if errors.Is(err, journal.ErrJournalFailed) {
+		s.degradeJournal(err)
+		return
+	}
+	panic(&parallel.AbortError{Err: fmt.Errorf("experiments: journal %s: %w", key, err)})
+}
+
+// degradeJournal latches the session into journal-less execution, warning
+// once and tracing the transition.
+func (s *Session) degradeJournal(cause error) {
+	if !s.journalDown.CompareAndSwap(false, true) {
+		return
+	}
+	warn := s.Warn
+	if warn == nil {
+		warn = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+		}
+	}
+	warn("journal failed; campaign continues without checkpoints (completed units after this point are not resumable): %v", cause)
+	if h := hooks.Load(); h != nil && h.Trace != nil {
+		h.Trace.Emit(telemetry.Event{Kind: "journal.degraded", Detail: firstLine(cause)})
+	}
 }
 
 // ChipConfig returns the chip configuration for a decap variant.
@@ -290,22 +358,17 @@ func (s *Session) buildCorpus(ctx context.Context, v pdn.ProcVariant) *Corpus {
 	results := make([]corpusRecord, len(jobs))
 	if err := parallel.SweepCtx(ctx, s.Workers, len(jobs), func(i int) {
 		key := "corpus/" + v.Name + "/" + jobs[i].name
-		if s.Journal != nil && s.Journal.LookupInto(key, &results[i]) {
+		if s.lookupUnit(key, &results[i]) {
 			progress(key)
 			unitDone(&results[i])
 			return
 		}
 		res := jobs[i].run()
 		results[i] = corpusRecord{Cycles: res.Cycles, Scope: res.Scope}
-		if s.Journal != nil {
-			// A failed journal write unwinds as an abort with a
-			// non-cancellation cause: the batch runner classifies it as
-			// permanent (a full disk does not heal on retry) rather than
-			// as a crash.
-			if err := s.Journal.Record(key, results[i]); err != nil {
-				panic(&parallel.AbortError{Err: fmt.Errorf("experiments: journal %s: %w", key, err)})
-			}
-		}
+		// A poisoned journal degrades the session to journal-less
+		// execution (one warning) instead of aborting: the unit was
+		// measured, only its checkpoint is lost.
+		s.recordUnit(key, results[i])
 		progress(key)
 		unitDone(&results[i])
 	}); err != nil {
@@ -347,7 +410,7 @@ func (s *Session) PairTable(ctx context.Context, v pdn.ProcVariant) *sched.PairT
 			Progress: func(unit string) { progress("table/" + v.Name + "/" + unit) },
 		}
 		if s.Journal != nil {
-			bc.Cache = &journalCellCache{j: s.Journal, prefix: "table/" + v.Name + "/"}
+			bc.Cache = &journalCellCache{s: s, prefix: "table/" + v.Name + "/"}
 		}
 		tt, err := sched.BuildPairTableCtx(ctx, bc, s.SpecProfiles())
 		if err != nil {
@@ -363,36 +426,30 @@ func (s *Session) PairTable(ctx context.Context, v pdn.ProcVariant) *sched.PairT
 
 // journalCellCache adapts the session journal to the pair-table builder's
 // cache seam: every completed cell is recorded under a variant-scoped key
-// and replayed exactly on resume.
+// and replayed exactly on resume. It routes through the session's
+// degradation-aware lookup/record, so a poisoned journal silently turns
+// the cache off instead of aborting the build.
 type journalCellCache struct {
-	j      *journal.Journal
+	s      *Session
 	prefix string
 }
 
 func (c *journalCellCache) LoadSingle(name string) (sched.SingleCell, bool) {
 	var out sched.SingleCell
-	ok := c.j.LookupInto(c.prefix+"single/"+name, &out)
+	ok := c.s.lookupUnit(c.prefix+"single/"+name, &out)
 	return out, ok
 }
 
 func (c *journalCellCache) StoreSingle(name string, cell sched.SingleCell) {
-	c.record(c.prefix+"single/"+name, cell)
+	c.s.recordUnit(c.prefix+"single/"+name, cell)
 }
 
 func (c *journalCellCache) LoadPair(a, b string) (sched.PairCell, bool) {
 	var out sched.PairCell
-	ok := c.j.LookupInto(c.prefix+"pair/"+a+"+"+b, &out)
+	ok := c.s.lookupUnit(c.prefix+"pair/"+a+"+"+b, &out)
 	return out, ok
 }
 
 func (c *journalCellCache) StorePair(a, b string, cell sched.PairCell) {
-	c.record(c.prefix+"pair/"+a+"+"+b, cell)
-}
-
-func (c *journalCellCache) record(key string, v any) {
-	// Abort, not crash: see buildCorpus — journal write failures are
-	// permanent, and the abort carries the cause to Session.Run.
-	if err := c.j.Record(key, v); err != nil {
-		panic(&parallel.AbortError{Err: fmt.Errorf("experiments: journal %s: %w", key, err)})
-	}
+	c.s.recordUnit(c.prefix+"pair/"+a+"+"+b, cell)
 }

@@ -1,0 +1,48 @@
+package journal
+
+import (
+	"io"
+	"os"
+)
+
+// File is the slice of *os.File the journal actually uses. Reads happen
+// only during load; writes and syncs only on the append handle.
+type File interface {
+	io.Reader
+	io.Writer
+	// Sync forces written data to stable storage (fsync).
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem operations the journal performs, so a fault
+// plane (internal/chaos) can sit between the journal and the OS and
+// inject torn writes, failed fsyncs, and read corruption deterministically
+// in tests. Production code uses OSFS.
+type FS interface {
+	// Stat reports on the journal file (existence check at Open).
+	Stat(name string) (os.FileInfo, error)
+	// OpenRead opens the file for the load pass.
+	OpenRead(name string) (File, error)
+	// OpenAppend opens the file for appending, creating it if needed.
+	OpenAppend(name string) (File, error)
+	// Truncate shortens the file to size bytes — the torn-tail repair
+	// that runs between load and append on resume.
+	Truncate(name string, size int64) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) OpenRead(name string) (File, error) { return os.Open(name) }
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// OSFS returns the real filesystem, the default when Options.FS is nil.
+func OSFS() FS { return osFS{} }

@@ -12,8 +12,18 @@
 //     seeds, code revision). A journal whose hash does not match the
 //     current configuration is rejected outright, never partially reused.
 //   - Every record line carries a checksum of its key and payload. A line
-//     that fails to parse or verify (torn tail from a crash, bit rot) is
+//     that fails to parse or verify (bit rot, partial overwrite) is
 //     skipped with a warning and recomputed; it is never trusted.
+//   - A torn tail — a final line without a newline, left by a crash
+//     mid-append — is truncated before the writer reopens the file, so
+//     the first post-crash record can never concatenate onto the partial
+//     line and lose both.
+//   - A failed write or fsync permanently poisons the journal
+//     (fsyncgate semantics: after a failed fsync the kernel may have
+//     dropped the dirty pages, so retrying cannot restore durability).
+//     Every later Record returns the sticky ErrJournalFailed and nothing
+//     further is buffered into a file whose durability is unknown;
+//     callers degrade to journal-less execution instead of trusting it.
 //
 // Records are JSON so float64 payloads round-trip exactly (encoding/json
 // emits the shortest representation that parses back to the same bits),
@@ -51,6 +61,13 @@ var (
 	ErrExists = errors.New("journal: file exists")
 	// ErrClosed reports a write to a closed journal.
 	ErrClosed = errors.New("journal: closed")
+	// ErrJournalFailed reports a journal poisoned by a failed write,
+	// flush, or fsync. The error is sticky: once returned, every later
+	// Record and Sync returns it, and nothing more is written — the file
+	// holds exactly the records that were durable before the failure, so
+	// a later resume can still trust what it verifies. Callers should
+	// warn and continue without checkpointing rather than abort.
+	ErrJournalFailed = errors.New("journal: failed (degraded to journal-less execution)")
 )
 
 type header struct {
@@ -70,17 +87,30 @@ type record struct {
 // concurrent use: sweep workers record completed units from many
 // goroutines.
 type Journal struct {
-	mu      sync.Mutex
-	f       *os.File
-	w       *bufio.Writer
-	entries map[string]json.RawMessage
-	path    string
-	config  string
-	records int
-	closed  bool
+	mu        sync.Mutex
+	f         File
+	w         *bufio.Writer
+	entries   map[string]json.RawMessage
+	path      string
+	config    string
+	records   int
+	closed    bool
+	syncEvery int
+	sinceSync int
+	// failure is the sticky poison error; non-nil after the first failed
+	// write/flush/fsync (wraps ErrJournalFailed).
+	failure error
+	// duplicates counts re-recorded keys observed during load: appends
+	// beyond the first for the same key (last record wins).
+	duplicates int
 	// headerWritten records that the on-disk file already starts with a
 	// valid matching header (set by load on resume).
 	headerWritten bool
+	// validSize/tornBytes: load's framing result — the byte length of the
+	// complete, newline-terminated prefix, and how many trailing bytes of
+	// torn final line follow it (0 when the file ends cleanly).
+	validSize int64
+	tornBytes int64
 
 	// Warn receives one formatted message per skipped corrupt record.
 	// Defaults to stderr when nil at Open time.
@@ -101,12 +131,22 @@ type Options struct {
 	// Warn receives one message per skipped corrupt record; nil logs to
 	// stderr.
 	Warn func(format string, args ...any)
+	// FS is the filesystem seam; nil means the real filesystem (OSFS).
+	// internal/chaos injects fault-scripted filesystems here.
+	FS FS
+	// SyncEvery fsyncs the file after every N records (in addition to the
+	// per-record flush to the OS). 0 syncs only at Close — the historical
+	// behavior. Campaigns that must survive whole-machine crashes, and the
+	// chaos soak, set 1.
+	SyncEvery int
 }
 
 // Open creates (or, with opts.Resume, continues) the journal at path for a
 // campaign with the given config hash. On resume, the existing header must
-// match configHash exactly — ErrStale otherwise — and every well-formed
-// record is loaded for Lookup; corrupt lines are skipped with a warning.
+// match configHash exactly — ErrStale otherwise — every well-formed
+// record is loaded for Lookup (corrupt lines are skipped with a warning),
+// and a torn final line left by a crash mid-append is truncated away
+// before the file is reopened for appending.
 func Open(path, configHash string, opts Options) (*Journal, error) {
 	warn := opts.Warn
 	if warn == nil {
@@ -114,25 +154,40 @@ func Open(path, configHash string, opts Options) (*Journal, error) {
 			fmt.Fprintf(os.Stderr, "journal: "+format+"\n", args...)
 		}
 	}
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS()
+	}
 	j := &Journal{
-		entries: map[string]json.RawMessage{},
-		path:    path,
-		config:  configHash,
-		warn:    warn,
+		entries:   map[string]json.RawMessage{},
+		path:      path,
+		config:    configHash,
+		warn:      warn,
+		syncEvery: opts.SyncEvery,
 	}
 
-	if _, err := os.Stat(path); err == nil {
+	if _, err := fs.Stat(path); err == nil {
 		if !opts.Resume {
 			return nil, fmt.Errorf("%w: %s (pass resume to continue it, or remove it)", ErrExists, path)
 		}
-		if err := j.load(path, configHash); err != nil {
+		if err := j.load(fs, path, configHash); err != nil {
 			return nil, err
+		}
+		if j.tornBytes > 0 {
+			// The crash left a partial final line. Cut it off before the
+			// writer appends, or the next record would concatenate onto
+			// the torn line and both would fail checksum on the following
+			// resume.
+			if err := fs.Truncate(path, j.validSize); err != nil {
+				return nil, fmt.Errorf("journal: truncate torn tail of %s: %w", path, err)
+			}
+			j.warn("%s: truncated torn tail (%d bytes) before append", path, j.tornBytes)
 		}
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("journal: stat %s: %w", path, err)
 	}
 
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fs.OpenAppend(path)
 	if err != nil {
 		return nil, fmt.Errorf("journal: open %s: %w", path, err)
 	}
@@ -158,61 +213,66 @@ func (j *Journal) writeHeader() error {
 	return j.w.Flush()
 }
 
-// load reads an existing journal, validating the header and every record.
-func (j *Journal) load(path, configHash string) error {
-	f, err := os.Open(path)
+// load reads an existing journal, validating the header and every record,
+// and computes the framing (validSize, tornBytes) the torn-tail repair
+// needs.
+func (j *Journal) load(fs FS, path, configHash string) error {
+	f, err := fs.OpenRead(path)
 	if err != nil {
 		return fmt.Errorf("journal: open %s: %w", path, err)
 	}
 	defer f.Close()
 
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
-
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return fmt.Errorf("%w: %v", ErrNoHeader, err)
+	r := bufio.NewReaderSize(f, 1<<20)
+	lineNo := 0
+	for {
+		raw, err := r.ReadBytes('\n')
+		if err != nil {
+			if err != io.EOF {
+				return fmt.Errorf("journal: read %s: %w", path, err)
+			}
+			// A final line without '\n' is a torn tail: a crash landed
+			// mid-append. Nothing on it can be trusted (even a line that
+			// would parse may be a prefix of a longer record), so it is
+			// not loaded; Open truncates it before the writer appends.
+			j.tornBytes = int64(len(raw))
+			return nil
 		}
-		// Empty file: treat as a fresh journal (a crash before the header
-		// flushed); the caller rewrites the header.
-		return nil
-	}
-	var h header
-	if err := json.Unmarshal(sc.Bytes(), &h); err != nil || h.Kind != "header" {
-		return fmt.Errorf("%w: first line is not a journal header", ErrNoHeader)
-	}
-	if h.Version != FormatVersion {
-		return fmt.Errorf("%w: journal format v%d, this build writes v%d", ErrStale, h.Version, FormatVersion)
-	}
-	if h.Config != configHash {
-		return fmt.Errorf("%w: journal %.12s…, campaign %.12s…", ErrStale, h.Config, configHash)
-	}
-	j.headerWritten = true
+		lineNo++
+		j.validSize += int64(len(raw))
 
-	line := 1
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
+		if lineNo == 1 {
+			var h header
+			if err := json.Unmarshal(raw, &h); err != nil || h.Kind != "header" {
+				return fmt.Errorf("%w: first line is not a journal header", ErrNoHeader)
+			}
+			if h.Version != FormatVersion {
+				return fmt.Errorf("%w: journal format v%d, this build writes v%d", ErrStale, h.Version, FormatVersion)
+			}
+			if h.Config != configHash {
+				return fmt.Errorf("%w: journal %.12s…, campaign %.12s…", ErrStale, h.Config, configHash)
+			}
+			j.headerWritten = true
+			continue
+		}
+
 		if len(bytes.TrimSpace(raw)) == 0 {
 			continue
 		}
-		var r record
-		if err := json.Unmarshal(raw, &r); err != nil || r.Kind != "entry" || r.Key == "" {
-			j.warn("%s:%d: skipping unparseable record: %v", path, line, err)
+		var rec record
+		if err := json.Unmarshal(raw, &rec); err != nil || rec.Kind != "entry" || rec.Key == "" {
+			j.warn("%s:%d: skipping unparseable record: %v", path, lineNo, err)
 			continue
 		}
-		if checksum(r.Key, r.Payload) != r.Sum {
-			j.warn("%s:%d: skipping record %q with bad checksum", path, line, r.Key)
+		if checksum(rec.Key, rec.Payload) != rec.Sum {
+			j.warn("%s:%d: skipping record %q with bad checksum", path, lineNo, rec.Key)
 			continue
 		}
-		j.entries[r.Key] = append(json.RawMessage(nil), r.Payload...)
+		if _, seen := j.entries[rec.Key]; seen {
+			j.duplicates++
+		}
+		j.entries[rec.Key] = append(json.RawMessage(nil), rec.Payload...)
 	}
-	if err := sc.Err(); err != nil {
-		// A torn final line from a crash: everything scanned so far is
-		// verified, so keep it and warn.
-		j.warn("%s: truncated tail ignored: %v", path, err)
-	}
-	return nil
 }
 
 func checksum(key string, payload []byte) string {
@@ -228,6 +288,24 @@ func (j *Journal) Len() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return len(j.entries)
+}
+
+// Duplicates returns how many re-recorded keys load observed on resume:
+// appends beyond the first for the same key. The campaign's units are
+// deterministic, so duplicates decode identically and the last one wins;
+// the count is reported so a resume can account for every appended line.
+func (j *Journal) Duplicates() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.duplicates
+}
+
+// Failed returns the sticky error that poisoned the journal (wrapping
+// ErrJournalFailed), or nil while the journal is healthy.
+func (j *Journal) Failed() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.failure
 }
 
 // Path returns the journal's file path.
@@ -259,10 +337,34 @@ func (j *Journal) LookupInto(key string, v any) bool {
 	return true
 }
 
+// poisonLocked marks the journal permanently failed (caller holds j.mu).
+// fsyncgate semantics: the failed operation may have lost buffered data in
+// a way no retry can detect, so the journal never writes again and every
+// later Record/Sync returns the same sticky error.
+func (j *Journal) poisonLocked(op, key string, cause error) error {
+	// Both ends of the chain stay classifiable: errors.Is(err,
+	// ErrJournalFailed) for the degrade decision, errors.Is(err, cause)
+	// for diagnosing what the filesystem actually did.
+	j.failure = fmt.Errorf("%w: %s %q: %w", ErrJournalFailed, op, key, cause)
+	if h := hooks.Load(); h != nil {
+		if h.Failures != nil {
+			h.Failures.Inc()
+		}
+		if h.Trace != nil {
+			h.Trace.Emit(telemetry.Event{Kind: "journal.failed", ID: key, Detail: op + ": " + cause.Error()})
+		}
+	}
+	return j.failure
+}
+
 // Record persists one completed unit of work under key, flushing it to the
-// OS before returning so a later crash cannot lose it. Re-recording an
-// existing key overwrites the in-memory copy and appends a new line (the
-// campaign's units are deterministic, so both lines decode identically).
+// OS before returning so a later crash cannot lose it (and fsyncing every
+// Options.SyncEvery records). Re-recording an existing key overwrites the
+// in-memory copy and appends a new line (the campaign's units are
+// deterministic, so both lines decode identically). After any write,
+// flush, or fsync failure the journal is poisoned: this and every later
+// Record returns an error wrapping ErrJournalFailed and nothing more is
+// written.
 func (j *Journal) Record(key string, v any) error {
 	payload, err := json.Marshal(v)
 	if err != nil {
@@ -278,13 +380,31 @@ func (j *Journal) Record(key string, v any) error {
 		j.mu.Unlock()
 		return ErrClosed
 	}
-	if _, err := j.w.Write(append(line, '\n')); err != nil {
+	if j.failure != nil {
+		err := j.failure
 		j.mu.Unlock()
-		return fmt.Errorf("journal: append %q: %w", key, err)
+		return err
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		err = j.poisonLocked("append", key, err)
+		j.mu.Unlock()
+		return err
 	}
 	if err := j.w.Flush(); err != nil {
+		err = j.poisonLocked("flush", key, err)
 		j.mu.Unlock()
-		return fmt.Errorf("journal: flush %q: %w", key, err)
+		return err
+	}
+	if j.syncEvery > 0 {
+		j.sinceSync++
+		if j.sinceSync >= j.syncEvery {
+			if err := j.f.Sync(); err != nil {
+				err = j.poisonLocked("sync", key, err)
+				j.mu.Unlock()
+				return err
+			}
+			j.sinceSync = 0
+		}
 	}
 	j.entries[key] = payload
 	j.records++
@@ -306,7 +426,36 @@ func (j *Journal) Record(key string, v any) error {
 	return nil
 }
 
-// Close flushes buffered records and syncs the file to disk.
+// Sync flushes buffered records and forces them to stable storage. A
+// failure poisons the journal exactly like a failed Record: the fsync is
+// never retried.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if j.failure != nil {
+		return j.failure
+	}
+	if err := j.w.Flush(); err != nil {
+		return j.poisonLocked("flush", "", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return j.poisonLocked("sync", "", err)
+	}
+	j.sinceSync = 0
+	return nil
+}
+
+// Close flushes buffered records and syncs the file to disk. On a
+// poisoned journal it only releases the descriptor — never re-flushing or
+// re-fsyncing a file whose durability is unknown — and returns the sticky
+// failure.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -314,6 +463,10 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
+	if j.failure != nil {
+		j.f.Close()
+		return j.failure
+	}
 	var first error
 	if err := j.w.Flush(); err != nil {
 		first = err

@@ -3,6 +3,7 @@ package journal
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -164,5 +165,124 @@ func TestRecordAfterCloseFails(t *testing.T) {
 	j.Close()
 	if err := j.Record("k", payload{}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("record after close: err = %v", err)
+	}
+}
+
+// TestTornTailTruncatedBeforeAppend is the regression test for the
+// torn-tail append corruption: a journal whose final line was cut mid-
+// append (no trailing newline) used to take the next Record on the same
+// line, producing one unparseable hybrid and losing both records. The
+// torn tail must be truncated on resume so appends land on a clean
+// boundary and survive the next reopen.
+func TestTornTailTruncatedBeforeAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	hash := ConfigHash("cfg")
+	j := open(t, path, hash, false)
+	for i := 0; i < 3; i++ {
+		j.Record(fmt.Sprintf("run/%d", i), payload{N: i})
+	}
+	j.Close()
+
+	// Crash mid-append: half a record, no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"entry","key":"run/3","va`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	tornSize := size(t, path)
+
+	var warnings []string
+	r, err := Open(path, hash, Options{Resume: true, Warn: func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("resumed %d entries, want the 3 intact ones", r.Len())
+	}
+	if size(t, path) >= tornSize {
+		t.Fatalf("torn tail not truncated: file still %d bytes", size(t, path))
+	}
+	found := false
+	for _, w := range warnings {
+		if strings.Contains(w, "torn tail") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no torn-tail warning, got %q", warnings)
+	}
+	if err := r.Record("run/3", payload{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The record appended over the torn tail must parse on the next
+	// resume — this is exactly what the concatenation bug destroyed.
+	r2 := open(t, path, hash, true)
+	defer r2.Close()
+	if r2.Len() != 4 {
+		t.Fatalf("after torn-tail repair + append, resumed %d entries, want 4", r2.Len())
+	}
+	var p payload
+	if !r2.LookupInto("run/3", &p) || p.N != 3 {
+		t.Fatalf("record appended after torn-tail repair lost: %+v", p)
+	}
+}
+
+func size(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestDuplicateKeysLastWins is the seeded resume property test: a journal
+// replaying duplicate keys (a unit re-recorded after a partial resume)
+// keeps the last record for each key and reports how many appends were
+// superseded.
+func TestDuplicateKeysLastWins(t *testing.T) {
+	for _, seed := range []int64{1, 20260805, 77} {
+		rng := rand.New(rand.NewSource(seed))
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("dup-%d.journal", seed))
+		hash := ConfigHash("cfg")
+		j := open(t, path, hash, false)
+
+		const appends = 200
+		last := map[string]int{}
+		for i := 0; i < appends; i++ {
+			key := fmt.Sprintf("unit/%d", rng.Intn(40))
+			if err := j.Record(key, payload{N: i}); err != nil {
+				t.Fatal(err)
+			}
+			last[key] = i
+		}
+		j.Close()
+
+		r := open(t, path, hash, true)
+		if r.Len() != len(last) {
+			t.Fatalf("seed %d: resumed %d entries, want %d distinct keys", seed, r.Len(), len(last))
+		}
+		if got, want := r.Duplicates(), appends-len(last); got != want {
+			t.Fatalf("seed %d: Duplicates() = %d, want %d", seed, got, want)
+		}
+		for key, n := range last {
+			var p payload
+			if !r.LookupInto(key, &p) {
+				t.Fatalf("seed %d: %s lost on resume", seed, key)
+			}
+			if p.N != n {
+				t.Fatalf("seed %d: %s resumed as append %d, want last append %d", seed, key, p.N, n)
+			}
+		}
+		r.Close()
 	}
 }

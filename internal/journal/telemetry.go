@@ -16,7 +16,11 @@ type Hooks struct {
 	// Replays counts LookupInto hits — units served from the journal
 	// instead of being recomputed.
 	Replays *telemetry.Counter
-	// Trace receives one "journal.append" event per durable record.
+	// Failures counts journals poisoned by a failed write/flush/fsync
+	// (at most one per journal: the poison is sticky).
+	Failures *telemetry.Counter
+	// Trace receives one "journal.append" event per durable record and
+	// one "journal.failed" event when a journal poisons itself.
 	Trace *telemetry.Trace
 }
 

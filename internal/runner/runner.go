@@ -25,8 +25,11 @@
 //   - ErrAborted: the root context was cancelled (user interrupt, global
 //     timeout) — never retried; the campaign is shutting down.
 //   - ErrPermanent: a cooperative abort with a non-cancellation cause
-//     (a journal write failure, a refused run) — never retried; the
-//     condition does not heal on its own.
+//     (an impossible configuration, a refused run) — never retried; the
+//     condition does not heal on its own. (Journal write failures are no
+//     longer in this class: the session degrades to journal-less
+//     execution with a warning instead of aborting — see
+//     experiments.Session.)
 package runner
 
 import (
@@ -241,11 +244,7 @@ func runOne(ctx context.Context, s *experiments.Session, e experiments.Entry, cf
 		// Exponential backoff with full jitter: base·2^(attempt-1) scaled
 		// by a uniform draw, capped. Storm-style transients (injected
 		// fault bursts, contended machines) decorrelate across retries.
-		backoff := cfg.BackoffBase << (attempt - 1)
-		if backoff > cfg.BackoffMax || backoff <= 0 {
-			backoff = cfg.BackoffMax
-		}
-		backoff = time.Duration(float64(backoff) * (0.5 + 0.5*jitter.Float64()))
+		backoff := time.Duration(float64(backoffFor(cfg.BackoffBase, cfg.BackoffMax, attempt)) * (0.5 + 0.5*jitter.Float64()))
 		emit(cfg, Event{Kind: EventRetry, ID: e.ID, Attempt: attempt, Err: err, Backoff: backoff})
 		select {
 		case <-time.After(backoff):
@@ -255,6 +254,26 @@ func runOne(ctx context.Context, s *experiments.Session, e experiments.Entry, cf
 			return res
 		}
 	}
+}
+
+// backoffFor returns the pre-jitter exponential backoff for the 1-based
+// attempt: base doubled once per prior attempt, monotonically capped at
+// max. Doubling stops at the cap instead of shifting by the raw attempt
+// count — a naive base<<(attempt-1) overflows past attempt ~40, wrapping
+// into zero, negative, or arbitrary small positive sleeps, so a campaign
+// with a huge retry budget would hammer instead of backing off.
+func backoffFor(base, max time.Duration, attempt int) time.Duration {
+	b := base
+	for i := 1; i < attempt && b < max; i++ {
+		b <<= 1
+		if b <= 0 { // doubling overflowed: the cap was astronomically high
+			return max
+		}
+	}
+	if b > max {
+		b = max
+	}
+	return b
 }
 
 // runAttempt executes a single attempt under its own deadline and

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -357,6 +358,68 @@ func TestBackoffScheduleIsSeededAndCapped(t *testing.T) {
 	for i := range first {
 		if first[i] != second[i] {
 			t.Errorf("backoff %d differs across equally-seeded runs: %v vs %v", i, first[i], second[i])
+		}
+	}
+}
+
+// TestBackoffMonotoneCappedAtHighAttempts is the regression property for
+// the backoff shift overflow: base<<(attempt-1) wrapped negative past
+// attempt ~40, handing time.Sleep a negative duration (no backoff at
+// all) deep into a long retry storm. The schedule must be positive,
+// monotone nondecreasing, capped at max, and exactly max once saturated —
+// at every attempt count, not just small ones.
+func TestBackoffMonotoneCappedAtHighAttempts(t *testing.T) {
+	cases := []struct{ base, max time.Duration }{
+		{time.Millisecond, 30 * time.Second},
+		{time.Second, 5 * time.Minute},
+		{time.Nanosecond, time.Duration(1) << 62}, // cap never reached by doubling before overflow
+		{250 * time.Millisecond, 250 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		prev := time.Duration(0)
+		saturated := false
+		for attempt := 1; attempt <= 500; attempt++ {
+			b := backoffFor(tc.base, tc.max, attempt)
+			if b <= 0 {
+				t.Fatalf("base=%v max=%v attempt=%d: backoff %v not positive (overflow regression)",
+					tc.base, tc.max, attempt, b)
+			}
+			if b > tc.max {
+				t.Fatalf("base=%v max=%v attempt=%d: backoff %v above cap", tc.base, tc.max, attempt, b)
+			}
+			if b < prev {
+				t.Fatalf("base=%v max=%v attempt=%d: backoff %v < previous %v (not monotone)",
+					tc.base, tc.max, attempt, b, prev)
+			}
+			if saturated && b != tc.max {
+				t.Fatalf("base=%v max=%v attempt=%d: backoff %v fell below cap after saturating",
+					tc.base, tc.max, attempt, b)
+			}
+			if b == tc.max {
+				saturated = true
+			}
+			prev = b
+		}
+		if !saturated {
+			t.Fatalf("base=%v max=%v: schedule never reached its cap in 500 attempts", tc.base, tc.max)
+		}
+	}
+
+	// Randomized property sweep over base/max pairs.
+	rng := rand.New(rand.NewSource(20260805))
+	for i := 0; i < 200; i++ {
+		base := time.Duration(1 + rng.Int63n(int64(10*time.Second)))
+		max := base + time.Duration(rng.Int63n(int64(10*time.Minute)))
+		prev := time.Duration(0)
+		for _, attempt := range []int{1, 2, 3, 7, 40, 63, 64, 65, 100, 499} {
+			b := backoffFor(base, max, attempt)
+			if b <= 0 || b > max || b < prev {
+				t.Fatalf("base=%v max=%v attempt=%d: backoff %v violates (0, max] monotone", base, max, attempt, b)
+			}
+			prev = b
+		}
+		if got := backoffFor(base, max, 499); got != max {
+			t.Fatalf("base=%v max=%v: attempt 499 gives %v, want saturation at max", base, max, got)
 		}
 	}
 }

@@ -7,6 +7,7 @@
 package wire
 
 import (
+	"voltsmooth/internal/chaos"
 	"voltsmooth/internal/experiments"
 	"voltsmooth/internal/failsafe"
 	"voltsmooth/internal/journal"
@@ -41,8 +42,12 @@ const (
 	RunnerCompleted = "runner.completed"
 	RunnerInFlight  = "runner.inflight"
 
-	JournalAppends = "journal.appends"
-	JournalReplays = "journal.replays"
+	JournalAppends  = "journal.appends"
+	JournalReplays  = "journal.replays"
+	JournalFailures = "journal.failures"
+
+	ChaosFaults = "chaos.faults"
+	ChaosKills  = "chaos.kills"
 
 	ExpCompleted   = "exp.completed"
 	ExpUnits       = "exp.units"
@@ -103,9 +108,15 @@ func Install(reg *telemetry.Registry, tr *telemetry.Trace) func() {
 		Trace:     tr,
 	})
 	prevJournal := journal.SetHooks(&journal.Hooks{
-		Appends: counter(JournalAppends),
-		Replays: counter(JournalReplays),
-		Trace:   tr,
+		Appends:  counter(JournalAppends),
+		Replays:  counter(JournalReplays),
+		Failures: counter(JournalFailures),
+		Trace:    tr,
+	})
+	prevChaos := chaos.SetHooks(&chaos.Hooks{
+		Faults: counter(ChaosFaults),
+		Kills:  counter(ChaosKills),
+		Trace:  tr,
 	})
 	prevExp := experiments.SetHooks(&experiments.Hooks{
 		Experiments: counter(ExpCompleted),
@@ -121,6 +132,7 @@ func Install(reg *telemetry.Registry, tr *telemetry.Trace) func() {
 		failsafe.SetHooks(prevFailsafe)
 		runner.SetHooks(prevRunner)
 		journal.SetHooks(prevJournal)
+		chaos.SetHooks(prevChaos)
 		experiments.SetHooks(prevExp)
 	}
 }
