@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"voltsmooth/internal/experiments"
+	"voltsmooth/internal/parallel"
 	"voltsmooth/internal/pdn"
 	"voltsmooth/internal/telemetry"
 	"voltsmooth/internal/telemetry/wire"
@@ -25,20 +26,41 @@ import (
 var (
 	benchOnce sync.Once
 	benchSess *experiments.Session
+	benchErr  error
 )
 
-// benchSession returns the shared, pre-warmed session.
+// benchSession returns the shared, pre-warmed session. A failed pre-build
+// is reported here, at the source, with its actual cause — Corpus and
+// PairTable unwind failures as abort panics, and swallowing them used to
+// surface later as a baffling `b.Fatal("empty render")` in whichever
+// figure benchmark ran first.
 func benchSession(b *testing.B) *experiments.Session {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchSess = experiments.NewSession(experiments.Tiny())
-		// Pre-build the shared measurements so figure benchmarks time
-		// analysis, not corpus construction.
-		benchSess.Corpus(context.Background(), pdn.Proc100)
-		benchSess.Corpus(context.Background(), pdn.Proc25)
-		benchSess.Corpus(context.Background(), pdn.Proc3)
-		benchSess.PairTable(context.Background(), pdn.Proc3)
+		benchErr = func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					if cause := parallel.AbortCause(r); cause != nil {
+						err = cause
+						return
+					}
+					panic(r)
+				}
+			}()
+			benchSess = experiments.NewSession(experiments.Tiny())
+			// Pre-build the shared measurements so figure benchmarks
+			// time analysis, not corpus construction.
+			ctx := context.Background()
+			benchSess.Corpus(ctx, pdn.Proc100)
+			benchSess.Corpus(ctx, pdn.Proc25)
+			benchSess.Corpus(ctx, pdn.Proc3)
+			benchSess.PairTable(ctx, pdn.Proc3)
+			return nil
+		}()
 	})
+	if benchErr != nil {
+		b.Fatalf("bench session pre-build failed: %v", benchErr)
+	}
 	return benchSess
 }
 
@@ -140,13 +162,37 @@ func BenchmarkChipCycle(b *testing.B) {
 	}
 }
 
-// BenchmarkPDNStep measures one power-delivery integration step.
+// BenchmarkPDNStep measures one power-delivery integration substep at the
+// exact dt the experiments run: cycle time over the default substep count,
+// taken from uarch.DefaultConfig rather than re-derived by hand. (The old
+// hand-built dt of 1/(1.86e9·6) exceeded the integrator's stability bound,
+// so the "one step" headline number silently measured two subdivided steps
+// — a different code path than production.)
 func BenchmarkPDNStep(b *testing.B) {
-	n := pdn.NewAtLoad(pdn.Core2Duo(), 20)
-	dt := 1 / (1.86e9 * 6)
+	cfg := uarch.DefaultConfig()
+	n := pdn.NewAtLoad(cfg.PDN, 20)
+	dt := (1 / cfg.ClockHz) / float64(cfg.Substeps)
+	if dt > n.MaxStableStep() {
+		b.Fatalf("default substep dt %g exceeds stability bound %g: benchmark would not measure the production path", dt, n.MaxStableStep())
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Step(dt, 20+float64(i&15))
+	}
+}
+
+// BenchmarkStepCycle measures the real per-cycle kernel of every
+// execution-driven experiment: one full chip clock cycle of PDN
+// integration at the default substep count, through the fused StepCycle
+// path the uarch model drives. This is the number the regression gate
+// watches.
+func BenchmarkStepCycle(b *testing.B) {
+	cfg := uarch.DefaultConfig()
+	n := pdn.NewAtLoad(cfg.PDN, 20)
+	cycleTime := 1 / cfg.ClockHz
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.StepCycle(cycleTime, 20+float64(i&15), cfg.Substeps)
 	}
 }
 

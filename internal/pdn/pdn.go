@@ -193,6 +193,11 @@ func (p Params) effBank() (c2, esr2, esl2 float64) {
 
 // Network is the transient state of the power-delivery ladder.
 // The zero value is not usable; construct with New or NewAtLoad.
+//
+// The hot-path fields are flattened out of Params into scalar members so
+// the fused kernel (step) touches one contiguous struct and never copies
+// the 24-field Params value per substep. Snapshot/restore copies the whole
+// Network by value, which carries every cached coefficient along.
 type Network struct {
 	p                 Params
 	c2, esr2, esl2    float64 // κ-scaled package bank branch
@@ -211,24 +216,76 @@ type Network struct {
 	// Step transparently subdivides larger requested steps.
 	dtMax float64
 
+	// Run-invariant kernel constants, derived once at construction.
+	// Each holds exactly the value the pre-fusion integrator computed
+	// inline (same expression, same evaluation order), so caching them
+	// is bit-transparent.
+	pL0, pL1, pL2   float64 // ladder inductances
+	pC1, pCPl, pC3  float64 // bulk, plane, die capacitances
+	pESR3           float64
+	pVNom           float64
+	rTotal          float64 // R0 + R1 + R2 (load-line series resistance)
+	regP            float64 // RegProportional
+	regLimit        float64 // 0.15 * VNom anti-windup clamp
+	rippleAmp       float64
+	rippleFreq      float64
+	hasFF     bool // RegFeedforwardTau > 0
+	hasReg    bool // RegIntegralHz > 0
+	hasRipple bool // RippleAmp != 0 && RippleFreq != 0
+
 	// Cached implicit-step coefficients, refreshed when dt changes. The
 	// resistive coupling is a 2×2 block between iL0 and iL1 (through
-	// ESR1) plus independent diagonals for iL2 and the bank branch.
+	// ESR1) plus independent diagonals for iL2 and the bank branch. A run
+	// uses one dt throughout, so after the first substep these are pure
+	// reads: refreshCoefs is hoisted out of the kernel and runs only on
+	// an actual dt change.
 	coefDt             float64
 	cb0, cc0, ca1, cb1 float64 // the ESR1-coupled block
 	cb2, cbb           float64 // iL2 and iLb diagonals
+	det                float64 // determinant of the ESR1-coupled block
+	ffA                float64 // clamped dt/RegFeedforwardTau EMA factor
+	kI                 float64 // dt · 2π · RegIntegralHz integral gain
 }
 
-// refreshCoefs recomputes the implicit-system coefficients for step dt.
+// refreshCoefs recomputes the dt-dependent kernel coefficients. Every
+// cached value reproduces the pre-fusion inline expression bit-for-bit:
+// same operands, same order, so a cached coefficient and the old per-step
+// recomputation are indistinguishable in the output.
 func (n *Network) refreshCoefs(dt float64) {
-	p := n.p
+	p := &n.p
 	n.cb0 = 1 + dt*(p.R0+p.ESR1)/p.L0
 	n.cc0 = -dt * p.ESR1 / p.L0
 	n.ca1 = -dt * p.ESR1 / p.L1
 	n.cb1 = 1 + dt*(p.R1+p.ESR1)/p.L1
 	n.cb2 = 1 + dt*(p.R2+p.ESR3)/p.L2
 	n.cbb = 1 + dt*n.esr2/n.esl2
+	n.det = n.cb0*n.cb1 - n.cc0*n.ca1
+	if n.hasFF {
+		a := dt / p.RegFeedforwardTau
+		if a > 1 {
+			a = 1
+		}
+		n.ffA = a
+	}
+	n.kI = dt * 2 * math.Pi * p.RegIntegralHz
 	n.coefDt = dt
+}
+
+// initDerived caches the run-invariant kernel constants from Params.
+func (n *Network) initDerived() {
+	p := &n.p
+	n.pL0, n.pL1, n.pL2 = p.L0, p.L1, p.L2
+	n.pC1, n.pCPl, n.pC3 = p.C1, p.CPlane, p.C3
+	n.pESR3 = p.ESR3
+	n.pVNom = p.VNom
+	n.rTotal = p.R0 + p.R1 + p.R2
+	n.regP = p.RegProportional
+	n.regLimit = 0.15 * p.VNom
+	n.rippleAmp = p.RippleAmp
+	n.rippleFreq = p.RippleFreq
+	n.hasFF = p.RegFeedforwardTau > 0
+	n.hasReg = p.RegIntegralHz > 0
+	n.hasRipple = p.RippleAmp != 0 && p.RippleFreq != 0
 }
 
 // New returns a Network initialized to the zero-load steady state:
@@ -244,6 +301,7 @@ func NewAtLoad(p Params, iLoad float64) *Network {
 	}
 	n := &Network{p: p}
 	n.c2, n.esr2, n.esl2 = p.effBank()
+	n.initDerived()
 	n.dtMax = 0.5 / n.fastestMode()
 	n.SettleAt(iLoad)
 	return n
@@ -331,105 +389,168 @@ func (n *Network) Step(dt, iLoad float64) float64 {
 		// sampling needs, the integrator keeps itself stable.
 		k := int(math.Ceil(dt / n.dtMax))
 		sub := dt / float64(k)
-		v := n.vDie
-		for i := 0; i < k; i++ {
-			v = n.Step(sub, iLoad)
+		if sub != n.coefDt {
+			n.refreshCoefs(sub)
 		}
-		return v
+		return n.stepN(sub, iLoad, k)
 	}
-	p := n.p
-	// Feedforward load-line compensation tracks delivered current and
-	// pre-raises the setpoint by the matching series IR drop.
-	ff := 0.0
-	if p.RegFeedforwardTau > 0 {
-		a := dt / p.RegFeedforwardTau
-		if a > 1 {
-			a = 1
-		}
-		n.iEMA += a * (iLoad - n.iEMA)
-		ff = n.iEMA * (p.R0 + p.R1 + p.R2)
-	}
-	vReg := p.VNom + ff + n.regBias + p.RegProportional*n.regErr
-
 	if dt != n.coefDt {
 		n.refreshCoefs(dt)
 	}
+	return n.stepN(dt, iLoad, 1)
+}
 
-	d0 := n.iL0 + dt*(vReg-n.vC1)/p.L0
-	d1 := n.iL1 + dt*(n.vC1-n.vP)/p.L1
-	d2 := n.iL2 + dt*(n.vP-n.vC3+p.ESR3*iLoad)/p.L2
-	db := n.iLb + dt*(n.vP-n.vCb)/n.esl2
+// stepN is the fused kernel: k semi-implicit substeps at a dt whose
+// coefficients are already cached (callers must refreshCoefs on a dt
+// change). The entire network state is hoisted into locals once, iterated
+// on in registers/stack slots for all k substeps, and written back once —
+// no Params copy, no closures, no interface calls, and no per-substep
+// stores through the receiver (which would otherwise force the compiler
+// to re-load every field each substep). Each substep performs the exact
+// arithmetic of the pre-fusion integrator in the exact order, so the
+// trajectory is bit-identical (pinned by TestFusedKernelGolden).
+func (n *Network) stepN(dt, iLoad float64, k int) float64 {
+	// State, hoisted for the whole fused run.
+	iL0, iL1, iL2, iLb := n.iL0, n.iL1, n.iL2, n.iLb
+	vC1, vP, vCb, vC3 := n.vC1, n.vP, n.vCb, n.vC3
+	iEMA, regBias, regErr := n.iEMA, n.regBias, n.regErr
+	t := n.t
+	v := n.vDie
 
-	// 2×2 ESR1-coupled block for (iL0, iL1), closed form.
-	det := n.cb0*n.cb1 - n.cc0*n.ca1
-	n.iL0, n.iL1 = (d0*n.cb1-n.cc0*d1)/det, (n.cb0*d1-n.ca1*d0)/det
-	// Diagonal-implicit updates for the die path and the bank branch.
-	n.iL2 = d2 / n.cb2
-	n.iLb = db / n.cbb
+	// Loop-invariant coefficients and parameters.
+	cb0, cc0, ca1, cb1 := n.cb0, n.cc0, n.ca1, n.cb1
+	cb2, cbb, det := n.cb2, n.cbb, n.det
+	pL0, pL1, pL2 := n.pL0, n.pL1, n.pL2
+	pC1, pCPl, pC3 := n.pC1, n.pCPl, n.pC3
+	c2, esl2 := n.c2, n.esl2
+	pESR3, pVNom, rTotal := n.pESR3, n.pVNom, n.rTotal
+	ffA, kI, regP, regLimit := n.ffA, n.kI, n.regP, n.regLimit
+	rippleAmp, rippleFreq := n.rippleAmp, n.rippleFreq
+	hasFF, hasReg, hasRipple := n.hasFF, n.hasReg, n.hasRipple
 
-	iC1 := n.iL0 - n.iL1
-	iP := n.iL1 - n.iL2 - n.iLb
-	iC3 := n.iL2 - iLoad
-
-	n.vC1 += dt * iC1 / p.C1
-	n.vP += dt * iP / p.CPlane
-	n.vCb += dt * n.iLb / n.c2
-	n.vC3 += dt * iC3 / p.C3
-
-	n.t += dt
-	// VRM PI control: steer the sensed die voltage back to VNom within
-	// the loop bandwidth, cleaning up what feedforward misses. The
-	// proportional term is computed on a slow-filtered error so it damps
-	// the bulk-stage slosh without touching the fast droop response the
-	// experiments measure.
-	if p.RegIntegralHz > 0 {
-		v3 := n.vC3 + p.ESR3*iC3
-		err := p.VNom - v3
-		n.regBias += dt * 2 * math.Pi * p.RegIntegralHz * err
-		limit := 0.15 * p.VNom
-		if n.regBias > limit {
-			n.regBias = limit
-		} else if n.regBias < -limit {
-			n.regBias = -limit
+	for ; k > 0; k-- {
+		// Feedforward load-line compensation tracks delivered current
+		// and pre-raises the setpoint by the matching series IR drop.
+		ff := 0.0
+		if hasFF {
+			iEMA += ffA * (iLoad - iEMA)
+			ff = iEMA * rTotal
 		}
-		// Error low-passed at the feedforward time constant.
-		if p.RegFeedforwardTau > 0 {
-			a := dt / p.RegFeedforwardTau
-			if a > 1 {
-				a = 1
+		vReg := pVNom + ff + regBias + regP*regErr
+
+		d0 := iL0 + dt*(vReg-vC1)/pL0
+		d1 := iL1 + dt*(vC1-vP)/pL1
+		d2 := iL2 + dt*(vP-vC3+pESR3*iLoad)/pL2
+		db := iLb + dt*(vP-vCb)/esl2
+
+		// 2×2 ESR1-coupled block for (iL0, iL1), closed form.
+		iL0, iL1 = (d0*cb1-cc0*d1)/det, (cb0*d1-ca1*d0)/det
+		// Diagonal-implicit updates for the die path and bank branch.
+		iL2 = d2 / cb2
+		iLb = db / cbb
+
+		iC1 := iL0 - iL1
+		iP := iL1 - iL2 - iLb
+		iC3 := iL2 - iLoad
+
+		vC1 += dt * iC1 / pC1
+		vP += dt * iP / pCPl
+		vCb += dt * iLb / c2
+		vC3 += dt * iC3 / pC3
+
+		t += dt
+		v = vC3 + pESR3*iC3
+		// VRM PI control: steer the sensed die voltage back to VNom
+		// within the loop bandwidth, cleaning up what feedforward
+		// misses. The proportional term is computed on a slow-filtered
+		// error so it damps the bulk-stage slosh without touching the
+		// fast droop response the experiments measure.
+		if hasReg {
+			err := pVNom - v
+			regBias += kI * err
+			if regBias > regLimit {
+				regBias = regLimit
+			} else if regBias < -regLimit {
+				regBias = -regLimit
 			}
-			n.regErr += a * (err - n.regErr)
-		} else {
-			n.regErr = err
+			// Error low-passed at the feedforward time constant.
+			if hasFF {
+				regErr += ffA * (err - regErr)
+			} else {
+				regErr = err
+			}
+		}
+		// The VRM sawtooth is injected at the sense point: the ladder's
+		// bulk stage would low-pass a source-side ripple far below what
+		// the paper observes riding on the die voltage (Fig 11), because
+		// physically the ripple is a current-mode artifact of the
+		// switching regulator. It is a background overlay and does not
+		// feed back into the network state.
+		if hasRipple {
+			phase := t * rippleFreq
+			frac := phase - math.Floor(phase)
+			v += rippleAmp * (2*frac - 1)
 		}
 	}
-	// The VRM sawtooth is injected at the sense point: the ladder's bulk
-	// stage would low-pass a source-side ripple far below what the paper
-	// observes riding on the die voltage (Fig 11), because physically the
-	// ripple is a current-mode artifact of the switching regulator. It is
-	// a background overlay and does not feed back into the network state.
-	n.vDie = n.vC3 + p.ESR3*iC3 + n.ripple(n.t)
+
+	// Write the evolved state back.
+	n.iL0, n.iL1, n.iL2, n.iLb = iL0, iL1, iL2, iLb
+	n.vC1, n.vP, n.vCb, n.vC3 = vC1, vP, vCb, vC3
+	n.iEMA, n.regBias, n.regErr = iEMA, regBias, regErr
+	n.t = t
+	n.vDie = v
 	n.lastILoad = iLoad
-	return n.vDie
+	return v
 }
 
 // StepCycle advances the network by one CPU clock cycle of length cycleTime
 // seconds, integrating with `substeps` internal steps while the die draws
 // iLoad amperes. It returns the die voltage at the end of the cycle.
+//
+// This is the per-cycle entry point of the chip simulator; the coefficient
+// check runs once per cycle (not per substep), and the default substep
+// count gets a fully unrolled call sequence.
 func (n *Network) StepCycle(cycleTime, iLoad float64, substeps int) float64 {
 	if substeps < 1 {
 		substeps = 1
 	}
 	dt := cycleTime / float64(substeps)
-	v := n.vDie
-	for i := 0; i < substeps; i++ {
-		v = n.Step(dt, iLoad)
+	var v float64
+	if dt > n.dtMax {
+		// The requested substep exceeds the stability bound, so each
+		// substep subdivides further — exactly as Step would — but the
+		// whole cycle still runs as one fused kernel call over the
+		// finer grid (the load is constant across the cycle, so k
+		// stability splits of each of the `substeps` substeps are one
+		// uniform run of k·substeps kernel steps).
+		k := int(math.Ceil(dt / n.dtMax))
+		sub := dt / float64(k)
+		if sub != n.coefDt {
+			n.refreshCoefs(sub)
+		}
+		v = n.stepN(sub, iLoad, k*substeps)
+	} else {
+		if dt != n.coefDt {
+			n.refreshCoefs(dt)
+		}
+		// One fused kernel call for the whole cycle: state stays in
+		// registers across every substep instead of round-tripping
+		// through the struct once per substep.
+		v = n.stepN(dt, iLoad, substeps)
 	}
 	if c := stepCounter.Load(); c != nil {
 		c.Add(uint64(substeps))
 	}
 	return v
 }
+
+// MaxStableStep returns the largest dt (seconds) the semi-implicit
+// integrator accepts without transparent subdivision — the stability bound
+// of the explicit capacitor updates. Callers that control their own step
+// grid (uarch.Config.Substeps) should divide the cycle into steps no
+// larger than this, or every substep silently subdivides and doubles the
+// integration work.
+func (n *Network) MaxStableStep() float64 { return n.dtMax }
 
 // V returns the most recently computed die voltage.
 func (n *Network) V() float64 { return n.vDie }

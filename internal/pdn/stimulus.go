@@ -33,10 +33,24 @@ func SineSource(base, amp, freq float64) CurrentSource {
 // 50% duty cycle. This is the software "current-consuming loop" of Sec II-A:
 // a high-current-draw path and a low-current-draw path executed alternately
 // to modulate current draw at a chosen frequency.
+//
+// The phase is reduced with math.Mod against the period rather than by
+// `t*freq - floor(t*freq)`: the product t·freq grows without bound over a
+// long campaign, and once it is large its floating-point spacing exceeds
+// the fractional resolution — the duty cycle first drifts, then sticks on
+// one level entirely when the spacing reaches 1 (t·freq ≥ 2⁵²). math.Mod
+// is exact for finite arguments, so the in-period phase keeps full
+// precision at any t the simulation can reach (regression-tested at
+// t ≥ 10⁶ periods by TestSquareSourceLateTimePrecision).
 func SquareSource(lo, hi, freq float64) CurrentSource {
+	period := 1 / freq
+	half := 0.5 * period
 	return func(t float64) float64 {
-		phase := t * freq
-		if phase-math.Floor(phase) < 0.5 {
+		phase := math.Mod(t, period)
+		if phase < 0 {
+			phase += period
+		}
+		if phase < half {
 			return hi
 		}
 		return lo

@@ -1,0 +1,94 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSquareSourceBasicShape checks the small-t contract: hi for the first
+// half period, lo for the second, repeating.
+func TestSquareSourceBasicShape(t *testing.T) {
+	const lo, hi, freq = 2.0, 10.0, 1e6
+	src := SquareSource(lo, hi, freq)
+	period := 1 / freq
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{0, hi},
+		{0.25 * period, hi},
+		{0.49 * period, hi},
+		{0.51 * period, lo},
+		{0.99 * period, lo},
+		{1.25 * period, hi},
+		{3.75 * period, lo},
+	}
+	for _, c := range cases {
+		if got := src(c.t); got != c.want {
+			t.Errorf("src(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+// measureDuty samples the source quasi-incommensurately with its period
+// and returns the fraction of samples at hi and the number of level
+// transitions observed.
+func measureDuty(src CurrentSource, hi, start, step float64, n int) (duty float64, transitions int) {
+	hiCount := 0
+	prev := math.NaN()
+	for i := 0; i < n; i++ {
+		v := src(start + float64(i)*step)
+		if v == hi {
+			hiCount++
+		}
+		if !math.IsNaN(prev) && v != prev {
+			transitions++
+		}
+		prev = v
+	}
+	return float64(hiCount) / float64(n), transitions
+}
+
+// TestSquareSourceLateTimePrecision is the regression test for the phase
+// cancellation bug: the old implementation computed frac(t·freq), whose
+// resolution collapses as the product grows — the duty cycle drifts and,
+// once t·freq reaches 2⁵², sticks at one level forever. The reworked
+// math.Mod phase reduction is exact, so the duty cycle stays 50% at any
+// simulated time.
+func TestSquareSourceLateTimePrecision(t *testing.T) {
+	const lo, hi = 2.0, 10.0
+
+	// t = 10⁶ periods: the acceptance point. Sample 50 points per period
+	// over 200 periods, offset to avoid sampling commensurately with the
+	// edges.
+	{
+		const freq = 2e6
+		period := 1 / freq
+		start := 1e6 * period
+		src := SquareSource(lo, hi, freq)
+		duty, transitions := measureDuty(src, hi, start, period/50*1.0009, 10_000)
+		if math.Abs(duty-0.5) > 0.01 {
+			t.Errorf("duty cycle at t=1e6 periods: %.4f, want 0.50", duty)
+		}
+		if transitions < 300 {
+			t.Errorf("source barely toggles at t=1e6 periods: %d transitions in 200 periods", transitions)
+		}
+	}
+
+	// t·freq = 10¹⁶ > 2⁵²: the regime where frac(t·freq) is pinned to
+	// zero (the old code returns hi forever). t itself still resolves
+	// about two periods per ulp here, so quasi-random phase sampling must
+	// see both levels in equal measure.
+	{
+		const freq = 1e6
+		const start = 1e10 // seconds; phase = 1e16
+		src := SquareSource(lo, hi, freq)
+		duty, transitions := measureDuty(src, hi, start, 2.1e-6, 10_000)
+		if math.Abs(duty-0.5) > 0.05 {
+			t.Errorf("duty cycle at t·freq=1e16: %.4f, want 0.50 (stuck source?)", duty)
+		}
+		if transitions == 0 {
+			t.Error("source is stuck at one level at t·freq=1e16")
+		}
+	}
+}

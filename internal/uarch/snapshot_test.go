@@ -158,16 +158,25 @@ func TestStallCycleFreezesArchitecture(t *testing.T) {
 }
 
 // TestInjectCurrentDroopsVoltage compares a run with a one-cycle injected
-// spike against the same run without it.
+// spike against the same run without it. The comparison is windowed around
+// the injection cycle: the two runs execute the identical instruction
+// sequence (injection never perturbs architectural state), so inside the
+// window the only difference is the electrical response to the spike, and
+// the spiked trajectory must dip below anything the clean one does there.
+// A whole-run minimum would instead race the spike's droop against the
+// workload's deepest natural event, which measures the workload, not the
+// injection seam.
 func TestInjectCurrentDroopsVoltage(t *testing.T) {
+	const injectAt, window = 3_000, 60
 	run := func(spike bool) float64 {
 		chip := snapshotChip(t)
 		vMin := 2.0
-		for i := 0; i < 6_000; i++ {
-			if spike && i == 3_000 {
+		for i := 0; i < injectAt+window; i++ {
+			if spike && i == injectAt {
 				chip.InjectCurrent(40)
 			}
-			if v := chip.Cycle(); v < vMin {
+			v := chip.Cycle()
+			if i >= injectAt && v < vMin {
 				vMin = v
 			}
 		}

@@ -167,7 +167,15 @@ func DefaultConfig() Config {
 		L2ContentionFactor: 0.35,
 
 		PDN:      pdn.Core2Duo(),
-		Substeps: 6,
+		// 7 substeps puts the integration step (cycleTime/7 ≈ 77 ps) just
+		// inside the PDN's stability bound (pdn.Network.MaxStableStep,
+		// ≈ 77.5 ps for the Core2Duo ladder). The historical value of 6
+		// missed the bound by 16%, so every substep silently subdivided
+		// ×2 and a "6-substep" cycle actually integrated 12 steps —
+		// nearly double the work for no accuracy the experiments'
+		// tolerances could see. TestSubstepsAlignedToStabilityBound pins
+		// the alignment against future parameter drift.
+		Substeps: 7,
 	}
 }
 
@@ -257,6 +265,16 @@ type Chip struct {
 	// injectAmps is extra die current queued by InjectCurrent for the
 	// next cycle (the fault-injection seam for PDN stimulus spikes).
 	injectAmps float64
+
+	// perCore is the per-cycle current scratch buffer, allocated once at
+	// construction and reused by every Cycle/StallCycle so the hot path
+	// performs zero allocations (pinned by TestChipCycleZeroAllocs).
+	perCore []float64
+	// numCoresF and uncoreShare are per-cycle loop invariants resolved
+	// at construction: the core count as a float and each core's share
+	// of the uncore draw.
+	numCoresF   float64
+	uncoreShare float64
 }
 
 // splitRail divides the shared power-delivery network across n rails:
@@ -300,7 +318,10 @@ func NewChip(cfg Config) *Chip {
 		cores:     make([]core, cfg.NumCores),
 		cycleTime: 1 / cfg.ClockHz,
 		rng:       0xC04E7E47,
+		perCore:   make([]float64, cfg.NumCores),
+		numCoresF: float64(cfg.NumCores),
 	}
+	c.uncoreShare = cfg.Current.UncoreAmps / c.numCoresF
 	idle := cfg.Current.UncoreAmps
 	for i := range c.cores {
 		c.cores[i].stream = workload.Idle()
@@ -368,8 +389,8 @@ func (c *Chip) RailVoltage(rail int) float64 { return c.nets[rail].V() }
 // returned. This is the hot path of every experiment.
 func (c *Chip) Cycle() float64 {
 	cm := &c.cfg.Current
-	uncoreShare := cm.UncoreAmps / float64(len(c.cores))
-	perCore := make([]float64, len(c.cores))
+	uncoreShare := c.uncoreShare
+	perCore := c.perCore
 	total := 0.0
 	trapping := 0
 	for i := range c.cores {
@@ -396,7 +417,7 @@ func (c *Chip) Cycle() float64 {
 		extra := float64(trapping-1) * cm.TrapContentionAmps
 		total += extra
 		for i := range perCore {
-			perCore[i] += extra / float64(len(perCore))
+			perCore[i] += extra / c.numCoresF
 		}
 	}
 	return c.driveNets(perCore, total)
@@ -414,8 +435,8 @@ func (c *Chip) Cycle() float64 {
 // measure.
 func (c *Chip) StallCycle() float64 {
 	cm := &c.cfg.Current
-	uncoreShare := cm.UncoreAmps / float64(len(c.cores))
-	perCore := make([]float64, len(c.cores))
+	uncoreShare := c.uncoreShare
+	perCore := c.perCore
 	total := 0.0
 	for i := range c.cores {
 		co := &c.cores[i]
@@ -440,7 +461,7 @@ func (c *Chip) InjectCurrent(amps float64) { c.injectAmps += amps }
 func (c *Chip) driveNets(perCore []float64, total float64) float64 {
 	if c.injectAmps != 0 {
 		total += c.injectAmps
-		share := c.injectAmps / float64(len(perCore))
+		share := c.injectAmps / c.numCoresF
 		for i := range perCore {
 			perCore[i] += share
 		}
