@@ -27,16 +27,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"runtime"
 	"strings"
-	"sync/atomic"
-	"syscall"
 	"time"
 
 	"voltsmooth/internal/experiments"
 	"voltsmooth/internal/journal"
 	"voltsmooth/internal/runner"
+	"voltsmooth/internal/sigctx"
 )
 
 func main() {
@@ -135,50 +133,14 @@ func main() {
 	}
 }
 
-// signalContext returns a context cancelled on SIGINT/SIGTERM, a getter
-// for the signal that was caught (nil if none), and a release function
-// that detaches the handler. A second signal while the first is still
-// unwinding kills the process the default way — the escape hatch for a
-// campaign stuck in shutdown.
+// signalContext and exitCode are the shared CLI signal contract
+// (internal/sigctx), common to vsmooth and vsmoothd: graceful unwind on
+// SIGINT/SIGTERM, exit 128+signum.
 func signalContext(parent context.Context) (context.Context, func() os.Signal, func()) {
-	ctx, cancel := context.WithCancel(parent)
-	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-	var caught atomic.Value
-	go func() {
-		select {
-		case sig := <-ch:
-			caught.Store(sig)
-			signal.Stop(ch)
-			cancel()
-		case <-ctx.Done():
-		}
-	}()
-	get := func() os.Signal {
-		sig, _ := caught.Load().(os.Signal)
-		return sig
-	}
-	release := func() {
-		signal.Stop(ch)
-		cancel()
-	}
-	return ctx, get, release
+	return sigctx.WithSignals(parent)
 }
 
-// exitCode maps a campaign outcome to the process exit code the way a
-// shell would: 128+signum when a signal ended the run (130 for SIGINT,
-// 143 for SIGTERM), 1 for any other failure, 0 on success. The signal
-// takes precedence over the error because an interrupted campaign always
-// also reports an "interrupted" error.
-func exitCode(sig os.Signal, err error) int {
-	if s, ok := sig.(syscall.Signal); ok {
-		return 128 + int(s)
-	}
-	if err != nil {
-		return 1
-	}
-	return 0
-}
+func exitCode(sig os.Signal, err error) int { return sigctx.ExitCode(sig, err) }
 
 // fatalUsage reports a configuration error the way flag parsing does:
 // message and usage to stderr, exit code 2.

@@ -1,0 +1,161 @@
+// Command vsmoothd is the long-lived campaign service over the voltage-
+// smoothing reproduction: the CLI campaign (cmd/vsmooth) turned into a
+// crash-recovering, multi-tenant HTTP server. Clients POST campaign jobs;
+// the server admits them through per-client token quotas and a bounded
+// queue with explicit backpressure, executes them on the batch supervisor
+// with per-job journals, and streams progress and event traces while they
+// run. A SIGKILLed server recovers on restart by scanning its job store:
+// finished jobs are served from their persisted results, interrupted ones
+// resume from their journals bit-identically. SIGINT/SIGTERM drains
+// gracefully — new admissions get 503, /readyz flips, running jobs get
+// -drain-timeout to finish before checkpoint-and-stop — and the process
+// exits 128+signum, like the CLI.
+//
+// See DESIGN §10 for the service architecture and README for a curl
+// walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"time"
+
+	"voltsmooth/internal/api"
+	"voltsmooth/internal/chaos"
+	"voltsmooth/internal/journal"
+	"voltsmooth/internal/sigctx"
+	"voltsmooth/internal/telemetry"
+	"voltsmooth/internal/telemetry/wire"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("vsmoothd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8431", "listen address")
+		store        = fs.String("store", "", "job store directory (required; holds job records, journals, results)")
+		queueCap     = fs.Int("queue", 16, "admission queue capacity; a full queue refuses submissions with 429")
+		jobWorkers   = fs.Int("job-workers", 2, "how many jobs execute concurrently")
+		sessWorkers  = fs.Int("workers", 4, "default per-job measurement-sweep fan-out (spec may override)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running jobs before checkpoint-and-stop")
+		quotaRate    = fs.Float64("quota-rate", 1, "per-client admission rate in jobs/second (0 disables quotas)")
+		quotaBurst   = fs.Int("quota-burst", 5, "per-client admission burst")
+		jobTimeout   = fs.Duration("job-timeout", 0, "default whole-job deadline (0 = none; spec timeout_ms overrides)")
+		expTimeout   = fs.Duration("exp-timeout", 0, "per-experiment, per-attempt deadline (0 = none)")
+		retries      = fs.Int("retries", 3, "attempt budget per experiment (first run + retries)")
+		stallTimeout = fs.Duration("stall-timeout", 0, "per-attempt stall watchdog (0 = off)")
+		syncEvery    = fs.Int("sync-every", 1, "fsync job journals every N records (a server must survive machine crashes)")
+
+		// chaosKillAtOp is the deterministic crash point of the kill-restart
+		// e2e: the Nth journal filesystem operation SIGKILLs this process —
+		// no cleanup, no flush, exactly the failure mode the journal layer
+		// is built to survive. Production runs leave it 0.
+		chaosKillAtOp = fs.Int64("chaos-kill-at-op", 0, "TESTING: SIGKILL this process at the Nth journal fs op (0 = off)")
+	)
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *store == "" {
+		fmt.Fprintln(os.Stderr, "vsmoothd: -store is required")
+		fs.Usage()
+		return 2
+	}
+
+	st, err := api.OpenStore(*store)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vsmoothd: %v\n", err)
+		return 1
+	}
+
+	// Process-wide telemetry: one registry + trace wired into every
+	// instrumented package (including the api layer's own job/queue/drain
+	// instruments), served at GET /metrics.
+	reg := telemetry.NewRegistry()
+	trace := telemetry.NewTrace(0)
+	uninstall := wire.Install(reg, trace)
+	defer uninstall()
+
+	var journalFS journal.FS
+	if *chaosKillAtOp > 0 {
+		journalFS = chaos.NewFS(chaos.Plan{KillAtOp: *chaosKillAtOp}, func() {
+			// A real SIGKILL: the kernel reaps the process mid-write, file
+			// locks release, nothing user-space runs after this line.
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		})
+		fmt.Fprintf(os.Stderr, "vsmoothd: CHAOS: will SIGKILL at journal op %d\n", *chaosKillAtOp)
+	}
+
+	srv, err := api.New(api.Config{
+		Store:                 st,
+		QueueCap:              *queueCap,
+		JobWorkers:            *jobWorkers,
+		DefaultSessionWorkers: *sessWorkers,
+		QuotaRate:             *quotaRate,
+		QuotaBurst:            *quotaBurst,
+		DefaultTimeout:        *jobTimeout,
+		ExpTimeout:            *expTimeout,
+		Retries:               *retries,
+		StallTimeout:          *stallTimeout,
+		JournalFS:             journalFS,
+		SyncEvery:             *syncEvery,
+		Metrics:               reg,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vsmoothd: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vsmoothd: listen: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ctx, caught, release := sigctx.WithSignals(context.Background())
+	defer release()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	// The address line doubles as the readiness signal for the e2e
+	// harness (the port may have been :0).
+	fmt.Fprintf(os.Stderr, "vsmoothd: serving on http://%s (store %s)\n", ln.Addr(), *store)
+
+	var runErr error
+	select {
+	case <-ctx.Done():
+		// Graceful drain: refuse new admissions (503, /readyz flips) while
+		// in-flight HTTP requests and running jobs get the drain budget;
+		// jobs that can't finish are checkpointed by their journals and
+		// resume on the next boot.
+		sig := caught()
+		fmt.Fprintf(os.Stderr, "vsmoothd: caught %v; draining (budget %s)\n", sig, *drainTimeout)
+		dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := srv.Drain(dctx); err != nil {
+			fmt.Fprintf(os.Stderr, "vsmoothd: drain: %v (unfinished jobs will resume on next start)\n", err)
+		}
+		if err := httpSrv.Shutdown(dctx); err != nil {
+			httpSrv.Close()
+		}
+		dcancel()
+	case err := <-serveErr:
+		srv.Close()
+		runErr = err
+	}
+
+	code := sigctx.ExitCode(caught(), runErr)
+	fmt.Fprintf(os.Stderr, "vsmoothd: exit %d\n", code)
+	return code
+}

@@ -1,0 +1,58 @@
+package api
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// quotas is the per-client admission throttle: one token bucket per
+// client ID, refilled at Rate tokens/second up to Burst. A submission
+// spends one token; an empty bucket is a 429 whose Retry-After is the
+// time until the next token. Buckets are created on first use, so the
+// map is bounded by the distinct-client population (tenants, not
+// requests).
+type quotas struct {
+	rate  float64 // tokens per second; <= 0 disables quotas entirely
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(rate float64, burst int, now func() time.Time) *quotas {
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotas{rate: rate, burst: float64(burst), now: now, clients: map[string]*bucket{}}
+}
+
+// take spends one token for client, or reports how long until one is
+// available.
+func (q *quotas) take(client string) (ok bool, retryAfter time.Duration) {
+	if q.rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b := q.clients[client]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: now}
+		q.clients[client] = b
+	}
+	b.tokens = math.Min(q.burst, b.tokens+now.Sub(b.last).Seconds()*q.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / q.rate
+	return false, time.Duration(need * float64(time.Second))
+}

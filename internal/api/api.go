@@ -1,0 +1,242 @@
+// Package api is the campaign service layer: a multi-tenant HTTP/JSON
+// front end over the batch supervisor (internal/runner), the checkpoint
+// store (internal/journal), and the experiment session cache
+// (internal/experiments). It turns the mortal CLI campaign into a
+// long-lived server: clients submit campaign jobs, the server admits them
+// through per-client token quotas and a bounded queue with explicit
+// backpressure (429 + Retry-After when full, never unbounded buffering),
+// executes them on a worker pool with per-job deadlines and the
+// established retry/backoff taxonomy, and streams per-job progress and an
+// event trace while they run.
+//
+// Every job owns a config-hash-pinned journal file in the job store, so a
+// crashed or SIGKILLed server recovers on restart by scanning the store:
+// jobs with a persisted result are served as-is, jobs without one are
+// re-enqueued and resume from their journal, replaying finished units
+// bit-identically — the CLI's -resume become server-side crash recovery.
+//
+// The job lifecycle state machine (DESIGN §10):
+//
+//	submit ─► queued ─► running ─► done
+//	             │          │    ─► failed
+//	             │          │    ─► canceled
+//	             │          └─► queued        (server shutdown / crash;
+//	             └─► canceled                  re-enqueued on next boot)
+//
+// Progress is scoped strictly per job: counters are fed from the job's
+// own runner events and its own journal's replay observer, never from the
+// process-global telemetry hooks — so two jobs' progress never bleed into
+// each other, while the global registry still accumulates process totals
+// for /metrics.
+package api
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"voltsmooth/internal/experiments"
+	"voltsmooth/internal/telemetry"
+)
+
+// JobState enumerates the lifecycle states.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// terminal reports whether a state is final.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobSpec is the client-submitted description of one campaign job. The
+// zero values of the optional fields mean "server default".
+type JobSpec struct {
+	// Experiments lists the experiment IDs to run (see experiments.All),
+	// or the single element "all".
+	Experiments []string `json:"experiments"`
+	// Scale names the experiment scale: tiny|quick|full.
+	Scale string `json:"scale"`
+	// Workers bounds the job's measurement-sweep fan-out; results are
+	// bit-identical at any width. <= 0 means the server default.
+	Workers int `json:"workers,omitempty"`
+	// FaultClasses/FaultSeed configure the figx-recovery fault injection,
+	// exactly like the CLI's -inject/-inject-seed.
+	FaultClasses []string `json:"fault_classes,omitempty"`
+	FaultSeed    uint64   `json:"fault_seed,omitempty"`
+	// Seed drives the runner's retry-backoff jitter.
+	Seed int64 `json:"seed,omitempty"`
+	// TimeoutMS is the whole-job deadline in milliseconds; 0 means the
+	// server default (which may be "none").
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// maxJobWorkers bounds a single job's sweep fan-out: one tenant must not
+// be able to claim every core of a shared fleet worker.
+const maxJobWorkers = 64
+
+// Validate checks the spec against the experiment registry and expands
+// "all". It returns the normalized spec; a validation error reads like a
+// flag error and maps to HTTP 400.
+func (s JobSpec) Validate() (JobSpec, error) {
+	if len(s.Experiments) == 0 {
+		return s, fmt.Errorf("spec: experiments must name at least one experiment id (or \"all\")")
+	}
+	if len(s.Experiments) == 1 && s.Experiments[0] == "all" {
+		s.Experiments = nil
+		for _, e := range experiments.All() {
+			s.Experiments = append(s.Experiments, e.ID)
+		}
+	}
+	for _, id := range s.Experiments {
+		if _, err := experiments.Lookup(id); err != nil {
+			return s, fmt.Errorf("spec: %w", err)
+		}
+	}
+	if s.Scale == "" {
+		s.Scale = "tiny"
+	}
+	if _, err := experiments.ScaleByName(s.Scale); err != nil {
+		return s, fmt.Errorf("spec: %w", err)
+	}
+	if s.Workers < 0 || s.Workers > maxJobWorkers {
+		return s, fmt.Errorf("spec: workers must be in [0, %d], got %d", maxJobWorkers, s.Workers)
+	}
+	if s.TimeoutMS < 0 {
+		return s, fmt.Errorf("spec: timeout_ms must be non-negative, got %d", s.TimeoutMS)
+	}
+	return s, nil
+}
+
+// Progress is a job's live progress snapshot, fed exclusively from
+// job-scoped observers (runner events, the job journal's replay hook).
+type Progress struct {
+	// Units counts completed measurement units (simulation runs, oracle
+	// cells), including units replayed from the journal on resume.
+	Units uint64 `json:"units"`
+	// ReplayedUnits counts the subset of Units served from the journal.
+	ReplayedUnits uint64 `json:"replayed_units"`
+	// Attempts and Retries count runner attempts across the job's
+	// experiments.
+	Attempts uint64 `json:"attempts"`
+	Retries  uint64 `json:"retries"`
+	// ExperimentsDone counts experiments that finished successfully, out
+	// of ExperimentsTotal.
+	ExperimentsDone  uint64 `json:"experiments_done"`
+	ExperimentsTotal int    `json:"experiments_total"`
+}
+
+// progress is the atomic backing store for Progress.
+type progress struct {
+	units, replayed, attempts, retries, expDone atomic.Uint64
+}
+
+func (p *progress) snapshot(total int) Progress {
+	return Progress{
+		Units:            p.units.Load(),
+		ReplayedUnits:    p.replayed.Load(),
+		Attempts:         p.attempts.Load(),
+		Retries:          p.retries.Load(),
+		ExperimentsDone:  p.expDone.Load(),
+		ExperimentsTotal: total,
+	}
+}
+
+// job is the server's in-memory view of one campaign job.
+type job struct {
+	id      string
+	client  string
+	spec    JobSpec
+	created time.Time
+
+	// trace is the job-scoped event ring served by /jobs/{id}/events.
+	trace *telemetry.Trace
+	prog  progress
+
+	mu           sync.Mutex
+	state        JobState
+	started      time.Time
+	finished     time.Time
+	errMsg       string
+	resumedUnits int
+	recovered    bool // re-enqueued by boot-time recovery
+	canceled     bool // cancel requested (DELETE)
+	cancel       func()
+	result       *Result
+}
+
+// setState transitions the job and emits the lifecycle trace event.
+func (j *job) setState(s JobState, detail string) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+	j.trace.Emit(telemetry.Event{Kind: "api.job." + string(s), ID: j.id, Detail: detail})
+}
+
+// Status is the JSON shape of GET /jobs/{id} (and the elements of
+// GET /jobs).
+type Status struct {
+	ID             string   `json:"id"`
+	Client         string   `json:"client"`
+	State          JobState `json:"state"`
+	Spec           JobSpec  `json:"spec"`
+	CreatedUnixNS  int64    `json:"created_unix_ns"`
+	StartedUnixNS  int64    `json:"started_unix_ns,omitempty"`
+	FinishedUnixNS int64    `json:"finished_unix_ns,omitempty"`
+	Progress       Progress `json:"progress"`
+	// ResumedUnits is how many completed units the job's journal replayed
+	// when it (re)started — nonzero exactly when the job survived a
+	// server crash or restart mid-run.
+	ResumedUnits int    `json:"resumed_units"`
+	Recovered    bool   `json:"recovered,omitempty"`
+	Error        string `json:"error,omitempty"`
+}
+
+func (j *job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:            j.id,
+		Client:        j.client,
+		State:         j.state,
+		Spec:          j.spec,
+		CreatedUnixNS: j.created.UnixNano(),
+		Progress:      j.prog.snapshot(len(j.spec.Experiments)),
+		ResumedUnits:  j.resumedUnits,
+		Recovered:     j.recovered,
+		Error:         j.errMsg,
+	}
+	if !j.started.IsZero() {
+		st.StartedUnixNS = j.started.UnixNano()
+	}
+	if !j.finished.IsZero() {
+		st.FinishedUnixNS = j.finished.UnixNano()
+	}
+	return st
+}
+
+// Result is a job's terminal record, persisted as result.json in the job
+// store; its presence is what marks a job terminal across restarts.
+type Result struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Error string   `json:"error,omitempty"`
+	// Renders maps experiment ID to its rendered figure/table text —
+	// byte-identical across an uninterrupted run and a crash-recovered
+	// one (the acceptance bar of the kill–restart e2e).
+	Renders map[string]string `json:"renders,omitempty"`
+	// Attempts maps experiment ID to how many attempts it took.
+	Attempts map[string]int `json:"attempts,omitempty"`
+	// ResumedUnits is the journal replay count of the job's final run.
+	ResumedUnits   int    `json:"resumed_units"`
+	Units          uint64 `json:"units"`
+	StartedUnixNS  int64  `json:"started_unix_ns,omitempty"`
+	FinishedUnixNS int64  `json:"finished_unix_ns,omitempty"`
+}

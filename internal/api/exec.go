@@ -1,0 +1,261 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"voltsmooth/internal/experiments"
+	"voltsmooth/internal/journal"
+	"voltsmooth/internal/runner"
+	"voltsmooth/internal/telemetry"
+)
+
+// runJob executes one job end to end: open (or resume) its journal, run
+// its experiments on the batch supervisor, classify the outcome, and
+// persist the terminal result atomically. Progress and events are fed
+// exclusively from job-scoped observers — the job's own runner.OnEvent
+// closure and its own journal's OnReplay hook — never from the
+// process-global telemetry hooks, so concurrent jobs cannot bleed into
+// each other's counters.
+func (s *Server) runJob(jb *job) {
+	if s.cfg.BeforeJob != nil {
+		s.cfg.BeforeJob(jb.id)
+	}
+
+	jb.mu.Lock()
+	if jb.state.terminal() {
+		// Canceled while queued (DELETE wrote the result already) — or a
+		// recovered duplicate. Nothing to run.
+		jb.mu.Unlock()
+		return
+	}
+	canceled := jb.canceled
+	jb.mu.Unlock()
+	if canceled {
+		s.finishJob(jb, StateCanceled, "canceled before start", nil, nil)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(s.jobsCtx)
+	defer cancel()
+	timeout := s.cfg.DefaultTimeout
+	if jb.spec.TimeoutMS > 0 {
+		timeout = time.Duration(jb.spec.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		defer tcancel()
+	}
+
+	jb.mu.Lock()
+	jb.cancel = cancel
+	jb.started = s.now()
+	jb.mu.Unlock()
+	jb.setState(StateRunning, "")
+	hookGaugeAdd(func(h *Hooks) *telemetry.Gauge { return h.Running }, 1)
+	defer hookGaugeAdd(func(h *Hooks) *telemetry.Gauge { return h.Running }, -1)
+	hookTrace(telemetry.Event{Kind: "api.job.running", ID: jb.id})
+
+	sess, jnl, err := s.openSession(jb)
+	if err != nil {
+		s.finishJob(jb, StateFailed, fmt.Sprintf("open journal: %v", err), nil, nil)
+		return
+	}
+	defer func() {
+		if cerr := jnl.Close(); cerr != nil && !errors.Is(cerr, journal.ErrJournalFailed) {
+			s.logf("job %s: close journal: %v", jb.id, cerr)
+		}
+	}()
+
+	entries := make([]experiments.Entry, 0, len(jb.spec.Experiments))
+	for _, id := range jb.spec.Experiments {
+		e, err := experiments.Lookup(id)
+		if err != nil {
+			// Validate() checked this at admission; a recovered job from a
+			// newer build could still miss.
+			s.finishJob(jb, StateFailed, err.Error(), nil, nil)
+			return
+		}
+		entries = append(entries, e)
+	}
+
+	results, runErr := runner.RunBatch(ctx, sess, entries, runner.Config{
+		// One slot: the job's concurrency lives in the session sweep
+		// fan-out; jobs are the server-level unit of parallelism.
+		Workers:      1,
+		Timeout:      s.cfg.ExpTimeout,
+		MaxAttempts:  s.cfg.Retries,
+		Seed:         jb.spec.Seed,
+		StallTimeout: s.cfg.StallTimeout,
+		OnEvent:      s.jobObserver(jb),
+	})
+
+	renders := map[string]string{}
+	attempts := map[string]int{}
+	var failed []string
+	for _, r := range results {
+		attempts[r.ID] = r.Attempts
+		if r.Err != nil {
+			failed = append(failed, fmt.Sprintf("%s: %v", r.ID, firstLine(r.Err)))
+			continue
+		}
+		renders[r.ID] = r.Renderer.Render()
+	}
+
+	switch {
+	case runErr != nil && errors.Is(s.jobsCtx.Err(), context.Canceled) && !jb.isCanceled():
+		// The server is shutting down, not the job failing: revert to
+		// queued. No result.json is written, so the next boot re-enqueues
+		// the job and its journal resumes every completed unit.
+		jb.setState(StateQueued, "server shutdown; will resume from journal")
+		hookTrace(telemetry.Event{Kind: "api.job.requeued", ID: jb.id, Detail: "shutdown"})
+		s.logf("job %s: interrupted by shutdown after %d units; resumable", jb.id, jb.prog.units.Load())
+	case jb.isCanceled():
+		s.finishJob(jb, StateCanceled, "canceled", renders, attempts)
+	case runErr != nil:
+		s.finishJob(jb, StateFailed, fmt.Sprintf("deadline: %v", runErr), renders, attempts)
+	case len(failed) > 0:
+		s.finishJob(jb, StateFailed, fmt.Sprintf("%d/%d experiments failed: %v", len(failed), len(results), failed), renders, attempts)
+	default:
+		s.finishJob(jb, StateDone, "", renders, attempts)
+	}
+}
+
+// openSession opens the job's config-hash-pinned journal (creating or
+// resuming — Resume is always set, because a fresh file and a crash
+// leftover are the same call) and builds the experiment session over it.
+func (s *Server) openSession(jb *job) (*experiments.Session, *journal.Journal, error) {
+	scale, err := experiments.ScaleByName(jb.spec.Scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	sess := experiments.NewSession(scale)
+	sess.Workers = jb.spec.Workers
+	if sess.Workers <= 0 {
+		sess.Workers = s.cfg.DefaultSessionWorkers
+	}
+	sess.FaultClasses = jb.spec.FaultClasses
+	sess.FaultSeed = jb.spec.FaultSeed
+	sess.Warn = func(format string, args ...any) {
+		s.logf("job %s: "+format, append([]any{jb.id}, args...)...)
+		jb.trace.Emit(telemetry.Event{Kind: "api.job.warn", ID: jb.id, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	jnl, err := journal.Open(s.store.JournalPath(jb.id), sess.ConfigFingerprint(), journal.Options{
+		Resume:    true,
+		FS:        s.cfg.JournalFS,
+		SyncEvery: s.cfg.SyncEvery,
+		Warn:      sess.Warn,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Replays are observed through the journal's own job-scoped hook, so a
+	// sibling job's replay traffic never lands in this job's counters.
+	jnl.OnReplay = func(key string) {
+		jb.prog.units.Add(1)
+		jb.prog.replayed.Add(1)
+	}
+	resumed := jnl.Len()
+	jb.mu.Lock()
+	jb.resumedUnits = resumed
+	jb.mu.Unlock()
+	if resumed > 0 {
+		jb.trace.Emit(telemetry.Event{Kind: "api.job.resume", ID: jb.id, Value: float64(resumed),
+			Detail: fmt.Sprintf("%d checkpointed units available for replay", resumed)})
+	}
+	sess.Journal = jnl
+	return sess, jnl, nil
+}
+
+// jobObserver adapts the runner's event stream into this job's scoped
+// progress counters and event ring. Replayed units arrive through the
+// journal's OnReplay hook instead (the runner sees them as ordinary
+// progress only in campaigns without a journal).
+func (s *Server) jobObserver(jb *job) func(runner.Event) {
+	return func(ev runner.Event) {
+		switch ev.Kind {
+		case runner.EventStart:
+			jb.prog.attempts.Add(1)
+			jb.trace.Emit(telemetry.Event{Kind: "run.start", ID: ev.ID, Value: float64(ev.Attempt)})
+		case runner.EventProgress:
+			jb.prog.units.Add(1)
+		case runner.EventRetry:
+			jb.prog.retries.Add(1)
+			jb.trace.Emit(telemetry.Event{Kind: "run.retry", ID: ev.ID, Value: float64(ev.Attempt),
+				Detail: firstLine(ev.Err)})
+		case runner.EventDone:
+			if ev.Err == nil {
+				jb.prog.expDone.Add(1)
+				jb.trace.Emit(telemetry.Event{Kind: "run.done", ID: ev.ID, Detail: "ok"})
+			} else {
+				jb.trace.Emit(telemetry.Event{Kind: "run.done", ID: ev.ID, Detail: firstLine(ev.Err)})
+			}
+		}
+	}
+}
+
+// isCanceled reports whether a cancel was requested for the job.
+func (j *job) isCanceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canceled
+}
+
+// finishJob persists the terminal result (atomically — its presence is
+// the terminal marker recovery trusts) and transitions the job.
+func (s *Server) finishJob(jb *job, state JobState, errMsg string, renders map[string]string, attempts map[string]int) {
+	jb.mu.Lock()
+	jb.finished = s.now()
+	jb.errMsg = errMsg
+	res := &Result{
+		ID:           jb.id,
+		State:        state,
+		Error:        errMsg,
+		Renders:      renders,
+		Attempts:     attempts,
+		ResumedUnits: jb.resumedUnits,
+		Units:        jb.prog.units.Load(),
+	}
+	if !jb.started.IsZero() {
+		res.StartedUnixNS = jb.started.UnixNano()
+	}
+	res.FinishedUnixNS = jb.finished.UnixNano()
+	jb.result = res
+	jb.mu.Unlock()
+
+	if err := s.store.WriteResult(res); err != nil {
+		// The run is complete in memory but not durably terminal: the next
+		// boot will re-run it, and the journal will replay it bit-
+		// identically — wasteful, not wrong.
+		s.logf("job %s: persist result: %v (job will re-run on next boot)", jb.id, err)
+	}
+	jb.setState(state, errMsg)
+	hookTrace(telemetry.Event{Kind: "api.job." + string(state), ID: jb.id, Detail: errMsg})
+	switch state {
+	case StateDone:
+		hookInc(func(h *Hooks) *telemetry.Counter { return h.Completed })
+	case StateFailed:
+		hookInc(func(h *Hooks) *telemetry.Counter { return h.Failed })
+	case StateCanceled:
+		hookInc(func(h *Hooks) *telemetry.Counter { return h.Canceled })
+	}
+	s.logf("job %s: %s (%d units, %d replayed)", jb.id, state, jb.prog.units.Load(), jb.prog.replayed.Load())
+}
+
+// firstLine trims an error to one line for event payloads.
+func firstLine(err error) string {
+	if err == nil {
+		return ""
+	}
+	msg := err.Error()
+	for i := 0; i < len(msg); i++ {
+		if msg[i] == '\n' {
+			return msg[:i]
+		}
+	}
+	return msg
+}

@@ -1,0 +1,283 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"voltsmooth/internal/telemetry"
+)
+
+// Handler returns the service's HTTP surface:
+//
+//	POST   /jobs             submit a campaign job  → 202 Accepted {id}
+//	GET    /jobs             list all job statuses
+//	GET    /jobs/{id}        one job's status + live progress
+//	GET    /jobs/{id}/events the job's scoped event trace (JSONL)
+//	GET    /jobs/{id}/result the terminal result (renders) — 409 until terminal
+//	DELETE /jobs/{id}        cancel (queued: immediate; running: cooperative)
+//	GET    /healthz          process liveness (200 while the process serves)
+//	GET    /readyz           admission readiness (503 once draining)
+//	GET    /metrics          process-wide registry snapshot (JSON)
+//
+// Submission backpressure is explicit, never buffering: a spent client
+// quota or a full queue is 429 with a Retry-After header, and a draining
+// server is 503. The 202 is written only after the job record is durably
+// on disk — an acked job survives any crash.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// maxSpecBytes bounds a submission body; a campaign spec is a few hundred
+// bytes, so anything near the cap is a client bug, not a bigger campaign.
+const maxSpecBytes = 1 << 20
+
+// clientOf identifies the tenant for quota accounting: the X-Client
+// header, or "anonymous" — absent headers share one anonymous bucket
+// rather than bypassing quotas.
+func clientOf(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	return "anonymous"
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	client := clientOf(r)
+	hookInc(func(h *Hooks) *telemetry.Counter { return h.Submitted })
+
+	// Drain check first: a draining server refuses before spending the
+	// client's quota tokens on a doomed submission.
+	if s.isDraining() {
+		hookInc(func(h *Hooks) *telemetry.Counter { return h.Unavailable })
+		writeError(w, http.StatusServiceUnavailable, "server is draining; resubmit after restart")
+		return
+	}
+
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("parse spec: %v", err))
+		return
+	}
+	spec, err := spec.Validate()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	if ok, retry := s.quotas.take(client); !ok {
+		hookInc(func(h *Hooks) *telemetry.Counter { return h.Rejected })
+		hookTrace(telemetry.Event{Kind: "api.reject.quota", ID: client})
+		w.Header().Set("Retry-After", retryAfterSeconds(retry))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("client %q is over its admission quota; retry after %s", client, retryAfterSeconds(retry)+"s"))
+		return
+	}
+
+	// Reserve a queue slot under the lock: the depth check and the
+	// increment are atomic, so an admitted job always has channel capacity
+	// waiting and the send below can never block.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		hookInc(func(h *Hooks) *telemetry.Counter { return h.Unavailable })
+		writeError(w, http.StatusServiceUnavailable, "server is draining; resubmit after restart")
+		return
+	}
+	if s.depth >= s.cfg.QueueCap {
+		s.mu.Unlock()
+		hookInc(func(h *Hooks) *telemetry.Counter { return h.Rejected })
+		hookTrace(telemetry.Event{Kind: "api.reject.queue_full", ID: client})
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("admission queue is full (%d waiting); retry later", s.cfg.QueueCap))
+		return
+	}
+	s.depth++
+	depth := s.depth
+	id := JobID(s.seq)
+	s.seq++
+	jb := &job{
+		id:      id,
+		client:  client,
+		spec:    spec,
+		created: s.now(),
+		state:   StateQueued,
+		trace:   telemetry.NewTrace(s.cfg.EventsCap),
+	}
+	s.jobs[id] = jb
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	// Durability before acknowledgment: the job record reaches disk
+	// (fsynced) before the 202, so an acked job survives a crash and is
+	// re-enqueued by the next boot's recovery scan.
+	if err := s.store.CreateJob(JobRecord{
+		ID: id, Client: client, Spec: spec, CreatedUnixNS: jb.created.UnixNano(),
+	}); err != nil {
+		s.mu.Lock()
+		s.depth--
+		delete(s.jobs, id)
+		for i, oid := range s.order {
+			if oid == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("persist job: %v", err))
+		return
+	}
+
+	hookInc(func(h *Hooks) *telemetry.Counter { return h.Admitted })
+	hookGaugeSet(func(h *Hooks) *telemetry.Gauge { return h.QueueDepth }, int64(depth))
+	jb.trace.Emit(telemetry.Event{Kind: "api.job.queued", ID: id})
+	hookTrace(telemetry.Event{Kind: "api.job.queued", ID: id, Detail: client})
+	s.work <- jb
+
+	w.Header().Set("Location", "/jobs/"+id)
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": string(StateQueued)})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.statuses()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, jb.status())
+}
+
+// handleEvents streams the job's scoped event ring as JSONL — the same
+// format as the CLI's -trace export, bounded by the ring capacity.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	if err := jb.trace.WriteJSONL(w); err != nil {
+		// Mid-stream failure: the status line is already gone; nothing
+		// useful left to send.
+		s.logf("job %s: stream events: %v", jb.id, err)
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	jb.mu.Lock()
+	res := jb.result
+	state := jb.state
+	jb.mu.Unlock()
+	if res == nil {
+		w.Header().Set("Retry-After", "2")
+		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; result exists once terminal", state))
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleCancel cancels a job. Queued jobs are marked canceled immediately
+// and durably (the worker skips terminal jobs on dequeue); running jobs
+// get a cooperative cancel and unwind at their next run boundary. Terminal
+// jobs are left as-is (200, idempotent).
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	jb.mu.Lock()
+	state := jb.state
+	jb.canceled = true
+	cancel := jb.cancel
+	jb.mu.Unlock()
+
+	switch {
+	case state.terminal():
+		// Idempotent: already finished, report the state it finished in.
+	case state == StateQueued:
+		// Persist the terminal marker now, so the cancel survives a crash
+		// that happens before a worker dequeues the job.
+		s.finishJob(jb, StateCanceled, "canceled while queued", nil, nil)
+		state = StateCanceled
+	default:
+		if cancel != nil {
+			cancel()
+		}
+		jb.trace.Emit(telemetry.Event{Kind: "api.job.cancel_requested", ID: jb.id})
+		state = StateRunning // cooperative: terminal state lands when it unwinds
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": jb.id, "state": string(state)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Liveness: the process is up and serving. Stays 200 during drain —
+	// a draining server is alive, just not ready.
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Metrics == nil {
+		writeError(w, http.StatusNotFound, "metrics registry not configured")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Metrics.Snapshot())
+}
+
+// retryAfterSeconds formats a backoff as whole seconds, rounded up and at
+// least 1 — Retry-After carries integer seconds.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil && !errors.Is(err, http.ErrBodyNotAllowed) {
+		// Client went away mid-encode; nothing to do.
+		_ = err
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,334 @@
+package api
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"voltsmooth/internal/journal"
+	"voltsmooth/internal/runner"
+	"voltsmooth/internal/telemetry"
+)
+
+// Config shapes a Server.
+type Config struct {
+	// Store is the durable job store (required).
+	Store *Store
+
+	// QueueCap bounds how many admitted jobs may wait for a worker. A
+	// full queue refuses new submissions with 429 + Retry-After — the
+	// queue never buffers unboundedly. <= 0 means 16.
+	QueueCap int
+	// JobWorkers is how many jobs execute concurrently. <= 0 means 2.
+	// (Each job additionally fans its own measurement sweeps out over its
+	// spec's Workers goroutines.)
+	JobWorkers int
+	// DefaultSessionWorkers is a job's sweep fan-out when its spec leaves
+	// Workers at 0. <= 0 means 4. Results are bit-identical at any width.
+	DefaultSessionWorkers int
+
+	// QuotaRate is the per-client admission rate in jobs/second, with
+	// QuotaBurst tokens of burst. Rate <= 0 disables quotas.
+	QuotaRate  float64
+	QuotaBurst int
+
+	// DefaultTimeout is the per-job deadline when a spec leaves
+	// TimeoutMS at 0; 0 means no deadline.
+	DefaultTimeout time.Duration
+	// ExpTimeout / Retries / StallTimeout shape the per-job runner: the
+	// per-attempt deadline, attempt budget, and stall watchdog of the
+	// established retry/backoff taxonomy.
+	ExpTimeout   time.Duration
+	Retries      int
+	StallTimeout time.Duration
+
+	// JournalFS is the filesystem seam for every job journal; nil means
+	// the real filesystem. The kill–restart e2e injects the chaos plane
+	// here.
+	JournalFS journal.FS
+	// SyncEvery is the job journals' fsync cadence; <= 0 means 1 (every
+	// record — a server must survive whole-machine crashes).
+	SyncEvery int
+
+	// EventsCap bounds each job's event ring; <= 0 means 4096.
+	EventsCap int
+
+	// Metrics, when non-nil, is served as JSON at GET /metrics.
+	Metrics *telemetry.Registry
+
+	// Logf receives server logs; nil means stderr.
+	Logf func(format string, args ...any)
+
+	// Now is the clock seam for quota refill; nil means time.Now.
+	Now func() time.Time
+
+	// BeforeJob, when set, runs just before each job executes — a test
+	// seam (like journal.OnRecord) for holding a worker in place while a
+	// saturation test fills the queue. Production code leaves it nil.
+	BeforeJob func(id string)
+}
+
+// Server is the campaign service: admission, queue, executor pool, job
+// store, and the HTTP surface over them (Handler).
+type Server struct {
+	cfg    Config
+	store  *Store
+	quotas *quotas
+	logf   func(format string, args ...any)
+	now    func() time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order
+	seq      int
+	depth    int // jobs admitted but not yet picked by a worker
+	draining bool
+
+	work     chan *job
+	stopPick chan struct{}
+	pickOnce sync.Once
+
+	// jobsCtx is the root of every job context; jobsCancel is the drain
+	// deadline's hard stop — jobs unwind at their next run boundary with
+	// their journals intact.
+	jobsCtx    context.Context
+	jobsCancel context.CancelFunc
+
+	workerWG sync.WaitGroup
+}
+
+// New opens the server over its store: it scans for jobs left behind by a
+// previous process (crash recovery), re-enqueues the unfinished ones, and
+// starts the worker pool. The HTTP surface is served via Handler; Drain
+// shuts the pool down gracefully.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("api: Config.Store is required")
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 16
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 2
+	}
+	if cfg.DefaultSessionWorkers <= 0 {
+		cfg.DefaultSessionWorkers = 4
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = runner.DefaultMaxAttempts
+	}
+	if cfg.SyncEvery <= 0 {
+		cfg.SyncEvery = 1
+	}
+	if cfg.EventsCap <= 0 {
+		cfg.EventsCap = 4096
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "vsmoothd: "+format+"\n", args...)
+		}
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+
+	s := &Server{
+		cfg:      cfg,
+		store:    cfg.Store,
+		quotas:   newQuotas(cfg.QuotaRate, cfg.QuotaBurst, now),
+		logf:     logf,
+		now:      now,
+		jobs:     map[string]*job{},
+		stopPick: make(chan struct{}),
+	}
+	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
+
+	// Recovery on boot: replay the store. Terminal jobs are served from
+	// their persisted results; unfinished ones go back on the queue and
+	// resume from their journals.
+	stored, err := s.store.Scan(func(format string, args ...any) {
+		logf("recovery: "+format, args...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var recovered []*job
+	for _, sj := range stored {
+		jb := &job{
+			id:      sj.Record.ID,
+			client:  sj.Record.Client,
+			spec:    sj.Record.Spec,
+			created: time.Unix(0, sj.Record.CreatedUnixNS),
+			trace:   telemetry.NewTrace(cfg.EventsCap),
+		}
+		if n, ok := seqOf(sj.Record.ID); ok && n >= s.seq {
+			s.seq = n + 1
+		}
+		if sj.Result != nil {
+			jb.state = sj.Result.State
+			jb.errMsg = sj.Result.Error
+			jb.result = sj.Result
+			jb.resumedUnits = sj.Result.ResumedUnits
+			jb.prog.units.Store(sj.Result.Units)
+			if sj.Result.StartedUnixNS != 0 {
+				jb.started = time.Unix(0, sj.Result.StartedUnixNS)
+			}
+			if sj.Result.FinishedUnixNS != 0 {
+				jb.finished = time.Unix(0, sj.Result.FinishedUnixNS)
+			}
+			jb.prog.expDone.Store(uint64(len(sj.Result.Renders)))
+		} else {
+			jb.state = StateQueued
+			jb.recovered = true
+			recovered = append(recovered, jb)
+		}
+		s.jobs[jb.id] = jb
+		s.order = append(s.order, jb.id)
+	}
+	if s.seq == 0 {
+		s.seq = 1
+	}
+
+	// The channel is sized so an admission that passed the depth check
+	// can never block: QueueCap live slots plus one per recovered job
+	// preloaded before serving starts.
+	s.work = make(chan *job, cfg.QueueCap+len(recovered))
+	for _, jb := range recovered {
+		s.depth++
+		s.work <- jb
+		hookInc(func(h *Hooks) *telemetry.Counter { return h.Recovered })
+		jb.trace.Emit(telemetry.Event{Kind: "api.job.recovered", ID: jb.id})
+		hookTrace(telemetry.Event{Kind: "api.job.recovered", ID: jb.id})
+		logf("recovery: job %s re-enqueued (will resume from its journal)", jb.id)
+	}
+	hookGaugeSet(func(h *Hooks) *telemetry.Gauge { return h.QueueDepth }, int64(s.depth))
+
+	s.workerWG.Add(cfg.JobWorkers)
+	for i := 0; i < cfg.JobWorkers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Recovering is reported by Status for observability; the count of jobs
+// the last boot re-enqueued.
+func (s *Server) recoveredCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, jb := range s.jobs {
+		jb.mu.Lock()
+		if jb.recovered {
+			n++
+		}
+		jb.mu.Unlock()
+	}
+	return n
+}
+
+// worker pulls jobs until the pick channel closes (drain) or the work
+// stream ends.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case <-s.stopPick:
+			return
+		case jb := <-s.work:
+			s.mu.Lock()
+			s.depth--
+			depth := s.depth
+			draining := s.draining
+			s.mu.Unlock()
+			hookGaugeSet(func(h *Hooks) *telemetry.Gauge { return h.QueueDepth }, int64(depth))
+			if draining {
+				// Drained mid-dequeue: the job stays queued on disk (no
+				// result.json), so the next boot recovers it. Do not start
+				// work the drain deadline would only cut down.
+				jb.trace.Emit(telemetry.Event{Kind: "api.job.requeued", ID: jb.id, Detail: "server draining"})
+				return
+			}
+			s.runJob(jb)
+		}
+	}
+}
+
+// isDraining reports whether the server has begun shutdown.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain shuts the service down gracefully: new submissions are refused
+// with 503 and /readyz flips immediately; queued jobs stay durably queued
+// for the next boot; running jobs get until ctx's deadline to finish,
+// then are cancelled — they unwind at their next run boundary, their
+// journals keeping every completed unit, so the next boot resumes them.
+// Drain returns nil when every worker stopped in time, or ctx.Err() when
+// the deadline forced cancellation.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	hookGaugeSet(func(h *Hooks) *telemetry.Gauge { return h.Draining }, 1)
+	hookTrace(telemetry.Event{Kind: "api.drain.start"})
+	s.pickOnce.Do(func() { close(s.stopPick) })
+
+	done := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.logf("drain deadline expired; cancelling running jobs (checkpoints are kept)")
+		s.jobsCancel()
+		<-done
+	}
+	s.jobsCancel()
+	hookTrace(telemetry.Event{Kind: "api.drain.done"})
+	return err
+}
+
+// Close hard-stops the server: cancel everything, wait for workers.
+// Journals keep completed units; unfinished jobs recover next boot.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.pickOnce.Do(func() { close(s.stopPick) })
+	s.jobsCancel()
+	s.workerWG.Wait()
+}
+
+// lookup returns the job by ID.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb, ok := s.jobs[id]
+	return jb, ok
+}
+
+// statuses returns every job's status in submission order.
+func (s *Server) statuses() []Status {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, 0, len(jobs))
+	for _, jb := range jobs {
+		out = append(out, jb.status())
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Store is the durable job store under one directory:
+//
+//	<dir>/jobs/<id>/job.json       submitted spec + client (written, fsynced,
+//	                               and only then acknowledged with 202)
+//	<dir>/jobs/<id>/journal.jsonl  the job's config-hash-pinned session
+//	                               journal (internal/journal format)
+//	<dir>/jobs/<id>/result.json    terminal record; its presence marks the
+//	                               job finished across restarts
+//
+// Recovery on boot is a pure function of this layout: Scan returns every
+// job in submission order; a job with a result is terminal and served
+// as-is, a job without one is re-enqueued and resumes from its journal.
+type Store struct {
+	dir string
+}
+
+// JobRecord is the durable admission record (job.json).
+type JobRecord struct {
+	ID            string  `json:"id"`
+	Client        string  `json:"client"`
+	Spec          JobSpec `json:"spec"`
+	CreatedUnixNS int64   `json:"created_unix_ns"`
+}
+
+// StoredJob is one Scan result: the admission record plus the terminal
+// result, if the job reached one.
+type StoredJob struct {
+	Record JobRecord
+	Result *Result // nil: the job never finished — re-enqueue and resume
+}
+
+// OpenStore opens (creating if needed) the job store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("api: store directory is required")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("api: create job store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) jobDir(id string) string { return filepath.Join(s.dir, "jobs", id) }
+
+// JournalPath returns the job's session-journal path.
+func (s *Store) JournalPath(id string) string {
+	return filepath.Join(s.jobDir(id), "journal.jsonl")
+}
+
+// CreateJob persists the admission record durably. It must complete
+// before the submission is acknowledged: an acked job survives a crash.
+func (s *Store) CreateJob(rec JobRecord) error {
+	if err := os.MkdirAll(s.jobDir(rec.ID), 0o755); err != nil {
+		return fmt.Errorf("api: create job dir: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(s.jobDir(rec.ID), "job.json"), rec)
+}
+
+// WriteResult persists the terminal record atomically (tmp + rename), so
+// a crash mid-write can never leave a half-result that recovery would
+// mistake for a finished job.
+func (s *Store) WriteResult(res *Result) error {
+	return writeFileAtomic(filepath.Join(s.jobDir(res.ID), "result.json"), res)
+}
+
+// LoadResult reads a job's terminal record; os.ErrNotExist when the job
+// never reached one.
+func (s *Store) LoadResult(id string) (*Result, error) {
+	data, err := os.ReadFile(filepath.Join(s.jobDir(id), "result.json"))
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("api: corrupt result for job %s: %w", id, err)
+	}
+	return &res, nil
+}
+
+// Scan enumerates every stored job in submission order (IDs embed a
+// zero-padded sequence number, so lexical order is submission order).
+// Directories without a parseable job.json are skipped with a warning —
+// a half-created dir left by a crash mid-admission was never acked, so
+// dropping it breaks no promise.
+func (s *Store) Scan(warn func(format string, args ...any)) ([]StoredJob, error) {
+	if warn == nil {
+		warn = func(string, ...any) {}
+	}
+	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("api: scan job store: %w", err)
+	}
+	var out []StoredJob
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		data, err := os.ReadFile(filepath.Join(s.jobDir(id), "job.json"))
+		if err != nil {
+			warn("job %s: unreadable job.json, skipping: %v", id, err)
+			continue
+		}
+		var rec JobRecord
+		if err := json.Unmarshal(data, &rec); err != nil || rec.ID != id {
+			warn("job %s: corrupt job.json, skipping", id)
+			continue
+		}
+		sj := StoredJob{Record: rec}
+		if res, err := s.LoadResult(id); err == nil {
+			sj.Result = res
+		} else if !errors.Is(err, os.ErrNotExist) {
+			// A corrupt result is not trusted: treat the job as unfinished
+			// and let the journal replay rebuild it bit-identically.
+			warn("job %s: %v; re-running from journal", id, err)
+		}
+		out = append(out, sj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Record.ID < out[j].Record.ID })
+	return out, nil
+}
+
+// NextSeq returns the next job sequence number: one past the highest
+// sequence among stored jobs.
+func (s *Store) NextSeq() (int, error) {
+	stored, err := s.Scan(nil)
+	if err != nil {
+		return 0, err
+	}
+	max := 0
+	for _, sj := range stored {
+		if n, ok := seqOf(sj.Record.ID); ok && n > max {
+			max = n
+		}
+	}
+	return max + 1, nil
+}
+
+// JobID formats a sequence number as a job ID ("j000042"): zero-padded so
+// lexical order is submission order.
+func JobID(seq int) string { return fmt.Sprintf("j%06d", seq) }
+
+func seqOf(id string) (int, bool) {
+	if !strings.HasPrefix(id, "j") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// writeFileAtomic writes v as JSON to path via tmp+fsync+rename, so the
+// file either has its old contents or the complete new ones.
+func writeFileAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("api: marshal %s: %w", filepath.Base(path), err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,133 @@
+package api
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestStoreScanOrderAndRecovery pins the store's recovery semantics: jobs
+// come back in submission order, terminal jobs carry their results, and
+// unfinished jobs come back result-less for re-enqueueing.
+func TestStoreScanOrderAndRecovery(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Experiments: []string{"fig7"}, Scale: "tiny"}
+	for _, id := range []string{JobID(2), JobID(10), JobID(1)} {
+		if err := st.CreateJob(JobRecord{ID: id, Client: "c", Spec: spec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.WriteResult(&Result{ID: JobID(2), State: StateDone, Units: 7}); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs, err := st.Scan(t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("scan: %d jobs, want 3", len(jobs))
+	}
+	for i, want := range []string{JobID(1), JobID(2), JobID(10)} {
+		if jobs[i].Record.ID != want {
+			t.Errorf("scan[%d] = %s, want %s (submission order)", i, jobs[i].Record.ID, want)
+		}
+	}
+	if jobs[1].Result == nil || jobs[1].Result.Units != 7 {
+		t.Error("terminal job lost its result in the scan")
+	}
+	if jobs[0].Result != nil || jobs[2].Result != nil {
+		t.Error("unfinished jobs grew results")
+	}
+
+	if seq, err := st.NextSeq(); err != nil || seq != 11 {
+		t.Errorf("NextSeq = %d (%v), want 11", seq, err)
+	}
+}
+
+// TestStoreScanSkipsCorruptRecords pins that a half-created job dir (crash
+// mid-admission, never acked) and a corrupt result degrade gracefully: the
+// former is skipped, the latter re-runs from the journal.
+func TestStoreScanSkipsCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Experiments: []string{"fig7"}, Scale: "tiny"}
+
+	// A healthy job with a corrupt result: treated as unfinished.
+	if err := st.CreateJob(JobRecord{ID: JobID(1), Client: "c", Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "jobs", JobID(1), "result.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A dir with no job.json at all: crash before the record landed.
+	if err := os.MkdirAll(filepath.Join(dir, "jobs", JobID(2)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A dir whose job.json disagrees with its name: skipped.
+	if err := os.MkdirAll(filepath.Join(dir, "jobs", JobID(3)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "jobs", JobID(3), "job.json"), []byte(`{"id":"j000099"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs, err := st.Scan(t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("scan: %d jobs, want only the healthy one", len(jobs))
+	}
+	if jobs[0].Record.ID != JobID(1) || jobs[0].Result != nil {
+		t.Errorf("scan[0] = %s (result %v), want %s unfinished", jobs[0].Record.ID, jobs[0].Result, JobID(1))
+	}
+}
+
+// TestQuotaBucketRefills pins the token bucket against a fake clock: a
+// spent burst refills at the configured rate, and the reported Retry-After
+// matches the time to the next token.
+func TestQuotaBucketRefills(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := newQuotas(0.5, 2, func() time.Time { return now }) // 1 token / 2s, burst 2
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.take("c"); !ok {
+			t.Fatalf("burst take %d refused", i)
+		}
+	}
+	ok, retry := q.take("c")
+	if ok {
+		t.Fatal("empty bucket granted a token")
+	}
+	if retry <= 0 || retry > 2*time.Second {
+		t.Errorf("retryAfter = %v, want (0s, 2s]", retry)
+	}
+
+	now = now.Add(2 * time.Second) // one token refilled
+	if ok, _ := q.take("c"); !ok {
+		t.Error("refilled bucket refused a token")
+	}
+	if ok, _ := q.take("c"); ok {
+		t.Error("bucket granted more than the refill")
+	}
+
+	// Other clients have their own buckets.
+	if ok, _ := q.take("d"); !ok {
+		t.Error("fresh client refused its burst")
+	}
+	// Disabled quotas always admit.
+	free := newQuotas(0, 1, func() time.Time { return now })
+	for i := 0; i < 100; i++ {
+		if ok, _ := free.take("any"); !ok {
+			t.Fatal("disabled quotas refused")
+		}
+	}
+}

@@ -320,6 +320,19 @@ func (fs *FS) OpenAppend(name string) (journal.File, error) {
 	return &file{fs: fs, name: name, f: f}, nil
 }
 
+// Lock delegates straight to the base filesystem, outside the fault plane
+// and its op stream: the advisory lock is campaign infrastructure, not
+// journal data, and a real process death releases a real flock no matter
+// how the data plane died. Routing it through the plane would also shift
+// every seeded fault schedule by one op, breaking replayability of
+// pre-lock soak seeds.
+func (fs *FS) Lock(name string) (func() error, error) {
+	if l, ok := fs.base.(journal.LockFS); ok {
+		return l.Lock(name)
+	}
+	return func() error { return nil }, nil
+}
+
 // file wraps one handle, routing every op through the plane.
 type file struct {
 	fs   *FS

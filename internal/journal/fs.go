@@ -1,8 +1,10 @@
 package journal
 
 import (
+	"fmt"
 	"io"
 	"os"
+	"syscall"
 )
 
 // File is the slice of *os.File the journal actually uses. Reads happen
@@ -31,6 +33,23 @@ type FS interface {
 	Truncate(name string, size int64) error
 }
 
+// LockFS is the optional FS upgrade for exclusive journal ownership. A
+// filesystem that implements it makes Open take an advisory lock on the
+// journal before reading a byte, so two concurrent campaigns pointed at
+// the same path cannot silently interleave records: the second opener
+// fails fast with ErrLocked instead. The real filesystem (OSFS) always
+// implements it; fault planes delegate to their base, and an FS without
+// the method simply runs unlocked (the historical behavior).
+type LockFS interface {
+	FS
+	// Lock acquires an exclusive advisory lock guarding name, returning
+	// the release function. A journal already locked by a live holder is
+	// an error wrapping ErrLocked. The lock must die with its holder: a
+	// SIGKILLed process may never run the release, and the next boot's
+	// recovery must still be able to take the lock.
+	Lock(name string) (release func() error, err error)
+}
+
 // osFS is the real filesystem.
 type osFS struct{}
 
@@ -43,6 +62,24 @@ func (osFS) OpenAppend(name string) (File, error) {
 }
 
 func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// Lock takes flock(LOCK_EX|LOCK_NB) on a sidecar "<name>.lock" file. flock
+// is the right primitive here (not an O_EXCL sentinel file): the kernel
+// releases it when the holding descriptor closes for any reason, including
+// SIGKILL, so a crashed campaign never leaves a stale lock that would
+// block its own recovery. The sidecar file itself is left in place —
+// removing it would race a concurrent opener onto a dead inode.
+func (osFS) Lock(name string) (func() error, error) {
+	f, err := os.OpenFile(name+".lock", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open lock file %s: %w", name+".lock", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s (another campaign holds %s)", ErrLocked, name, name+".lock")
+	}
+	return f.Close, nil
+}
 
 // OSFS returns the real filesystem, the default when Options.FS is nil.
 func OSFS() FS { return osFS{} }

@@ -59,6 +59,12 @@ var (
 	ErrNoHeader = errors.New("journal: missing or corrupt header")
 	// ErrExists reports an existing journal opened without resume.
 	ErrExists = errors.New("journal: file exists")
+	// ErrLocked reports a journal whose advisory lock is held by another
+	// live campaign. Two writers interleaving records in one file would
+	// corrupt both campaigns silently; the second opener fails fast
+	// instead. The lock dies with its holder (flock semantics), so a
+	// crashed campaign's journal is immediately recoverable.
+	ErrLocked = errors.New("journal: locked by another campaign")
 	// ErrClosed reports a write to a closed journal.
 	ErrClosed = errors.New("journal: closed")
 	// ErrJournalFailed reports a journal poisoned by a failed write,
@@ -112,6 +118,13 @@ type Journal struct {
 	validSize int64
 	tornBytes int64
 
+	// unlock releases the exclusive advisory lock taken at Open (nil when
+	// the FS does not implement LockFS). It runs exactly once, on Close or
+	// on an Open that fails after the lock was taken — even on a poisoned
+	// journal, because a lock held past the owner's death in-process would
+	// block its own resume.
+	unlock func() error
+
 	// Warn receives one formatted message per skipped corrupt record.
 	// Defaults to stderr when nil at Open time.
 	warn func(format string, args ...any)
@@ -120,6 +133,12 @@ type Journal struct {
 	// the running record count. Tests use it to kill a campaign at an
 	// exact journal boundary; production code leaves it nil.
 	OnRecord func(n int, key string)
+
+	// OnReplay, when set, observes every successful LookupInto replay.
+	// The campaign service uses it to count a job's replayed units
+	// without touching the process-global hooks, so concurrent jobs'
+	// progress never bleeds into each other.
+	OnReplay func(key string)
 }
 
 // Options configures Open.
@@ -166,6 +185,23 @@ func Open(path, configHash string, opts Options) (*Journal, error) {
 		syncEvery: opts.SyncEvery,
 	}
 
+	// Exclusive ownership comes first, before any byte of the file is
+	// trusted: two concurrent campaigns appending to one journal would
+	// interleave records silently, and each would replay the other's.
+	if lfs, ok := fs.(LockFS); ok {
+		unlock, err := lfs.Lock(path)
+		if err != nil {
+			return nil, err
+		}
+		j.unlock = unlock
+	}
+	opened := false
+	defer func() {
+		if !opened {
+			j.releaseLock()
+		}
+	}()
+
 	if _, err := fs.Stat(path); err == nil {
 		if !opts.Resume {
 			return nil, fmt.Errorf("%w: %s (pass resume to continue it, or remove it)", ErrExists, path)
@@ -199,7 +235,16 @@ func Open(path, configHash string, opts Options) (*Journal, error) {
 			return nil, err
 		}
 	}
+	opened = true
 	return j, nil
+}
+
+// releaseLock releases the advisory lock exactly once.
+func (j *Journal) releaseLock() {
+	if j.unlock != nil {
+		j.unlock()
+		j.unlock = nil
+	}
 }
 
 func (j *Journal) writeHeader() error {
@@ -330,6 +375,9 @@ func (j *Journal) LookupInto(key string, v any) bool {
 	if err := json.Unmarshal(p, v); err != nil {
 		j.warn("record %q does not decode into %T, recomputing: %v", key, v, err)
 		return false
+	}
+	if j.OnReplay != nil {
+		j.OnReplay(key)
 	}
 	if h := hooks.Load(); h != nil && h.Replays != nil {
 		h.Replays.Inc()
@@ -463,6 +511,9 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
+	// The advisory lock is released whatever else happens: a poisoned or
+	// half-closed journal that kept its lock would block its own resume.
+	defer j.releaseLock()
 	if j.failure != nil {
 		j.f.Close()
 		return j.failure

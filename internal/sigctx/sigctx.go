@@ -1,0 +1,60 @@
+// Package sigctx is the shared signal-to-context plumbing of the
+// command-line front ends (vsmooth, vsmoothd): a context cancelled on
+// SIGINT/SIGTERM, a record of which signal landed, and the shell-convention
+// exit code mapping (128+signum). Both binaries must behave identically
+// under an interrupt — graceful unwind, state flushed, exit 130/143 — so
+// the behavior lives in one place.
+package sigctx
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+)
+
+// WithSignals returns a context cancelled on SIGINT/SIGTERM, a getter for
+// the signal that was caught (nil if none), and a release function that
+// detaches the handler. A second signal while the first is still unwinding
+// kills the process the default way — the escape hatch for a shutdown that
+// hangs.
+func WithSignals(parent context.Context) (ctx context.Context, caught func() os.Signal, release func()) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	var got atomic.Value
+	go func() {
+		select {
+		case sig := <-ch:
+			got.Store(sig)
+			signal.Stop(ch)
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	caught = func() os.Signal {
+		sig, _ := got.Load().(os.Signal)
+		return sig
+	}
+	release = func() {
+		signal.Stop(ch)
+		cancel()
+	}
+	return ctx, caught, release
+}
+
+// ExitCode maps a run's outcome to the process exit code the way a shell
+// would: 128+signum when a signal ended it (130 for SIGINT, 143 for
+// SIGTERM), 1 for any other failure, 0 on success. The signal takes
+// precedence over the error because an interrupted run always also
+// reports an "interrupted" error.
+func ExitCode(sig os.Signal, err error) int {
+	if s, ok := sig.(syscall.Signal); ok {
+		return 128 + int(s)
+	}
+	if err != nil {
+		return 1
+	}
+	return 0
+}

@@ -7,6 +7,7 @@
 package wire
 
 import (
+	"voltsmooth/internal/api"
 	"voltsmooth/internal/chaos"
 	"voltsmooth/internal/experiments"
 	"voltsmooth/internal/failsafe"
@@ -53,10 +54,22 @@ const (
 	ExpUnits       = "exp.units"
 	ExpEmergencies = "exp.emergencies"
 	ExpWallMS      = "exp.wall_ms"
+
+	APIJobsSubmitted   = "api.jobs_submitted"
+	APIJobsAdmitted    = "api.jobs_admitted"
+	APIJobsRejected    = "api.jobs_rejected"
+	APIJobsUnavailable = "api.jobs_unavailable"
+	APIJobsCompleted   = "api.jobs_completed"
+	APIJobsFailed      = "api.jobs_failed"
+	APIJobsCanceled    = "api.jobs_canceled"
+	APIJobsRecovered   = "api.jobs_recovered"
+	APIQueueDepth      = "api.queue_depth"
+	APIJobsRunning     = "api.jobs_running"
+	APIDraining        = "api.draining"
 )
 
 // Install wires reg and tr into every instrumented package — pdn, sched,
-// failsafe, runner, journal, experiments — and returns an uninstall
+// failsafe, runner, journal, experiments, api — and returns an uninstall
 // function that restores whatever hooks were installed before. Either
 // argument may be nil to wire only metrics or only tracing. Installing is
 // process-global (the hooks are package-level), so a campaign wires once at
@@ -125,6 +138,20 @@ func Install(reg *telemetry.Registry, tr *telemetry.Trace) func() {
 		WallTime:    timing(ExpWallMS),
 		Trace:       tr,
 	})
+	prevAPI := api.SetHooks(&api.Hooks{
+		Submitted:   counter(APIJobsSubmitted),
+		Admitted:    counter(APIJobsAdmitted),
+		Rejected:    counter(APIJobsRejected),
+		Unavailable: counter(APIJobsUnavailable),
+		Completed:   counter(APIJobsCompleted),
+		Failed:      counter(APIJobsFailed),
+		Canceled:    counter(APIJobsCanceled),
+		Recovered:   counter(APIJobsRecovered),
+		QueueDepth:  gauge(APIQueueDepth),
+		Running:     gauge(APIJobsRunning),
+		Draining:    gauge(APIDraining),
+		Trace:       tr,
+	})
 
 	return func() {
 		pdn.SetStepCounter(prevStep)
@@ -134,5 +161,6 @@ func Install(reg *telemetry.Registry, tr *telemetry.Trace) func() {
 		journal.SetHooks(prevJournal)
 		chaos.SetHooks(prevChaos)
 		experiments.SetHooks(prevExp)
+		api.SetHooks(prevAPI)
 	}
 }
