@@ -29,6 +29,7 @@ import (
 	"voltsmooth/internal/api"
 	"voltsmooth/internal/chaos"
 	"voltsmooth/internal/journal"
+	"voltsmooth/internal/lease"
 	"voltsmooth/internal/sigctx"
 	"voltsmooth/internal/telemetry"
 	"voltsmooth/internal/telemetry/wire"
@@ -54,6 +55,14 @@ func run(argv []string) int {
 		retries      = fs.Int("retries", 3, "attempt budget per experiment (first run + retries)")
 		stallTimeout = fs.Duration("stall-timeout", 0, "per-attempt stall watchdog (0 = off)")
 		syncEvery    = fs.Int("sync-every", 1, "fsync job journals every N records (a server must survive machine crashes)")
+
+		// Fleet mode: any number of vsmoothd processes sharing one -store
+		// coordinate job ownership through durable per-job leases — a dead
+		// worker's jobs fail over to peers after -lease-ttl.
+		fleet        = fs.Bool("fleet", false, "coordinate job ownership with other vsmoothd processes sharing this -store via per-job leases")
+		workerID     = fs.String("worker-id", "", "this worker's unique fleet identity (default <hostname>-<pid>)")
+		leaseTTL     = fs.Duration("lease-ttl", 3*time.Second, "fleet job-lease TTL: how long a dead worker's jobs stay stuck before failover")
+		scanInterval = fs.Duration("scan-interval", 0, "fleet claim-scanner cadence (0 = lease-ttl/3)")
 
 		// chaosKillAtOp is the deterministic crash point of the kill-restart
 		// e2e: the Nth journal filesystem operation SIGKILLs this process —
@@ -88,13 +97,21 @@ func run(argv []string) int {
 	defer uninstall()
 
 	var journalFS journal.FS
+	var leaseFS lease.FS
 	if *chaosKillAtOp > 0 {
-		journalFS = chaos.NewFS(chaos.Plan{KillAtOp: *chaosKillAtOp}, func() {
+		// One plane, one op stream, wired under BOTH the journal and (in
+		// fleet mode) the lease layer — so the seeded kill-point can land
+		// inside a claim transaction or renewal just as well as mid-append.
+		plane := chaos.NewFS(chaos.Plan{KillAtOp: *chaosKillAtOp}, func() {
 			// A real SIGKILL: the kernel reaps the process mid-write, file
 			// locks release, nothing user-space runs after this line.
 			syscall.Kill(os.Getpid(), syscall.SIGKILL)
 		})
-		fmt.Fprintf(os.Stderr, "vsmoothd: CHAOS: will SIGKILL at journal op %d\n", *chaosKillAtOp)
+		journalFS = plane
+		if *fleet {
+			leaseFS = plane
+		}
+		fmt.Fprintf(os.Stderr, "vsmoothd: CHAOS: will SIGKILL at fs op %d\n", *chaosKillAtOp)
 	}
 
 	srv, err := api.New(api.Config{
@@ -111,6 +128,11 @@ func run(argv []string) int {
 		JournalFS:             journalFS,
 		SyncEvery:             *syncEvery,
 		Metrics:               reg,
+		Fleet:                 *fleet,
+		WorkerID:              *workerID,
+		LeaseTTL:              *leaseTTL,
+		ScanInterval:          *scanInterval,
+		LeaseFS:               leaseFS,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vsmoothd: %v\n", err)

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"voltsmooth/internal/experiments"
+	"voltsmooth/internal/lease"
 	"voltsmooth/internal/telemetry"
 )
 
@@ -170,6 +171,22 @@ type job struct {
 	canceled     bool // cancel requested (DELETE)
 	cancel       func()
 	result       *Result
+
+	// Fleet-mode fields. enqueued marks a job sitting on (or claimed off)
+	// the local work channel, so the claim scanner never double-enqueues;
+	// fenced marks a run whose lease was superseded mid-flight (the
+	// heartbeat's onFenced) — its outcome must not be persisted; hold is
+	// the live lease handle while this process runs the job.
+	enqueued bool
+	fenced   bool
+	hold     *lease.Handle
+}
+
+// isFenced reports whether the job's lease was superseded mid-run.
+func (j *job) isFenced() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fenced
 }
 
 // setState transitions the job and emits the lifecycle trace event.
@@ -197,6 +214,11 @@ type Status struct {
 	ResumedUnits int    `json:"resumed_units"`
 	Recovered    bool   `json:"recovered,omitempty"`
 	Error        string `json:"error,omitempty"`
+	// Owner and Epoch expose the job's on-disk lease in fleet mode: which
+	// worker holds (or last held) the job, at which fencing epoch. Empty
+	// outside fleet mode or before the first claim.
+	Owner string `json:"owner,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 func (j *job) status() Status {

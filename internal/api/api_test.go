@@ -326,10 +326,18 @@ func TestDrainRefusesNewWork(t *testing.T) {
 		t.Errorf("draining healthz: %d, want 200 (alive, not ready)", code)
 	}
 	var errBody map[string]string
-	if resp := submit(t, hs.URL, "", tinySpec(), &errBody); resp.StatusCode != http.StatusServiceUnavailable {
+	resp := submit(t, hs.URL, "", tinySpec(), &errBody)
+	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("draining submit: status %d, want 503", resp.StatusCode)
 	} else if !strings.Contains(errBody["error"], "drain") {
 		t.Errorf("draining submit error = %q, want it to say draining", errBody["error"])
+	}
+	// Like every other backpressure response, the drain 503 must tell the
+	// client when to come back.
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("draining submit 503 is missing Retry-After")
+	} else if n, err := strconv.Atoi(ra); err != nil || n < 1 {
+		t.Errorf("draining submit Retry-After = %q, want a positive integer of seconds", ra)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"voltsmooth/internal/experiments"
 	"voltsmooth/internal/journal"
+	"voltsmooth/internal/lease"
 	"voltsmooth/internal/runner"
 	"voltsmooth/internal/telemetry"
 )
@@ -38,6 +39,47 @@ func (s *Server) runJob(jb *job) {
 		return
 	}
 
+	// Fleet mode: ownership first. The claim transaction under the store
+	// flock is the only admission to execution; losing it (a peer's live
+	// lease, a busy lock) just sends the job back to the scanner.
+	var hold *lease.Handle
+	if s.leases != nil {
+		defer func() {
+			jb.mu.Lock()
+			jb.enqueued = false
+			jb.hold = nil
+			jb.mu.Unlock()
+		}()
+		h, err := s.leases.Claim(s.store.jobDir(jb.id), jb.id)
+		if err != nil {
+			if errors.Is(err, lease.ErrHeld) || errors.Is(err, lease.ErrLockBusy) {
+				jb.trace.Emit(telemetry.Event{Kind: "api.job.claim_lost", ID: jb.id, Detail: firstLine(err)})
+			} else {
+				s.logf("job %s: claim: %v", jb.id, err)
+			}
+			return
+		}
+		hold = h
+		jb.mu.Lock()
+		jb.hold = hold
+		jb.fenced = false
+		jb.mu.Unlock()
+		defer func() {
+			if err := hold.Release(); err != nil && !errors.Is(err, lease.ErrFenced) {
+				s.logf("job %s: release lease: %v (peers take over at TTL expiry)", jb.id, err)
+			}
+		}()
+		s.logf("job %s: claimed (epoch %d)", jb.id, hold.Epoch())
+
+		// The claim may have raced a peer's terminal write that landed just
+		// before our transaction: a result on disk means the job is done,
+		// not ours to re-run.
+		if res, err := s.store.LoadResult(jb.id); err == nil {
+			s.adoptResult(jb, res)
+			return
+		}
+	}
+
 	ctx, cancel := context.WithCancel(s.jobsCtx)
 	defer cancel()
 	timeout := s.cfg.DefaultTimeout
@@ -59,8 +101,43 @@ func (s *Server) runJob(jb *job) {
 	defer hookGaugeAdd(func(h *Hooks) *telemetry.Gauge { return h.Running }, -1)
 	hookTrace(telemetry.Event{Kind: "api.job.running", ID: jb.id})
 
+	if hold != nil {
+		// Heartbeat: renew the lease on job progress until the run ends or
+		// the lease is fenced — the signal that a successor owns the job
+		// and this run must abandon everything, terminal write included.
+		go hold.Keep(ctx, 0, jb.prog.units.Load, func(err error) {
+			s.logf("job %s: %v; abandoning run", jb.id, err)
+			jb.mu.Lock()
+			jb.fenced = true
+			jb.mu.Unlock()
+			cancel()
+		})
+	}
+
 	sess, jnl, err := s.openSession(jb)
+	if hold != nil {
+		// A fenced predecessor may still hold the journal flock (a paused
+		// process keeps its descriptors). Our lease is live and renewing,
+		// so wait the holder out briefly; past the budget, hand the job
+		// back rather than camp on a queue worker.
+		deadline := s.now().Add(4 * s.cfg.LeaseTTL)
+		for errors.Is(err, journal.ErrLocked) && ctx.Err() == nil {
+			if s.now().After(deadline) {
+				s.logf("job %s: journal still locked by another process after %s; requeueing", jb.id, 4*s.cfg.LeaseTTL)
+				jb.setState(StateQueued, "journal locked by another process")
+				return
+			}
+			time.Sleep(250 * time.Millisecond)
+			sess, jnl, err = s.openSession(jb)
+		}
+	}
 	if err != nil {
+		if hold != nil && ctx.Err() != nil && !jb.isCanceled() {
+			// Fenced or drained while waiting on the journal lock: not a
+			// job failure. Leave it queued for whoever owns it next.
+			jb.setState(StateQueued, "interrupted before journal open")
+			return
+		}
 		s.finishJob(jb, StateFailed, fmt.Sprintf("open journal: %v", err), nil, nil)
 		return
 	}
@@ -106,6 +183,13 @@ func (s *Server) runJob(jb *job) {
 	}
 
 	switch {
+	case jb.isFenced():
+		// A successor claimed the job while this run was paused or stalled.
+		// Nothing here may be persisted — the successor's run is the truth.
+		// Revert to queued; the scanner adopts the successor's result.
+		jb.setState(StateQueued, "lease fenced; a successor owns this job")
+		hookTrace(telemetry.Event{Kind: "api.job.fenced", ID: jb.id})
+		s.logf("job %s: fenced after %d units; discarding this run's outcome", jb.id, jb.prog.units.Load())
 	case runErr != nil && errors.Is(s.jobsCtx.Err(), context.Canceled) && !jb.isCanceled():
 		// The server is shutting down, not the job failing: revert to
 		// queued. No result.json is written, so the next boot re-enqueues
@@ -227,11 +311,36 @@ func (s *Server) finishJob(jb *job, state JobState, errMsg string, renders map[s
 	jb.result = res
 	jb.mu.Unlock()
 
-	if err := s.store.WriteResult(res); err != nil {
+	jb.mu.Lock()
+	hold := jb.hold
+	jb.mu.Unlock()
+	var werr error
+	if hold != nil {
+		// The fence in front of the terminal rename: the write commits only
+		// while the claim flock is held AND the on-disk epoch still matches
+		// this handle — a stale worker that woke up after a successor
+		// claimed the job gets ErrFenced here and its result is discarded,
+		// never applied over the successor's.
+		werr = hold.Guard(func() error { return s.store.WriteResult(res) })
+		if errors.Is(werr, lease.ErrFenced) {
+			s.logf("job %s: terminal write REJECTED by fence: %v", jb.id, werr)
+			jb.mu.Lock()
+			jb.fenced = true
+			jb.result = nil
+			jb.finished = time.Time{}
+			jb.mu.Unlock()
+			jb.setState(StateQueued, "terminal write fenced; successor owns the job")
+			hookTrace(telemetry.Event{Kind: "api.job.fenced", ID: jb.id, Detail: "terminal write rejected"})
+			return
+		}
+	} else {
+		werr = s.store.WriteResult(res)
+	}
+	if werr != nil {
 		// The run is complete in memory but not durably terminal: the next
 		// boot will re-run it, and the journal will replay it bit-
 		// identically — wasteful, not wrong.
-		s.logf("job %s: persist result: %v (job will re-run on next boot)", jb.id, err)
+		s.logf("job %s: persist result: %v (job will re-run on next boot)", jb.id, werr)
 	}
 	jb.setState(state, errMsg)
 	hookTrace(telemetry.Event{Kind: "api.job." + string(state), ID: jb.id, Detail: errMsg})

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"voltsmooth/internal/lease"
 	"voltsmooth/internal/telemetry"
 )
 
@@ -60,9 +61,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	hookInc(func(h *Hooks) *telemetry.Counter { return h.Submitted })
 
 	// Drain check first: a draining server refuses before spending the
-	// client's quota tokens on a doomed submission.
+	// client's quota tokens on a doomed submission. Like every other
+	// backpressure path, the 503 carries Retry-After — a restart (or a
+	// fleet peer) can be serving well within it.
 	if s.isDraining() {
 		hookInc(func(h *Hooks) *telemetry.Counter { return h.Unavailable })
+		w.Header().Set("Retry-After", "10")
 		writeError(w, http.StatusServiceUnavailable, "server is draining; resubmit after restart")
 		return
 	}
@@ -96,6 +100,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining {
 		s.mu.Unlock()
 		hookInc(func(h *Hooks) *telemetry.Counter { return h.Unavailable })
+		w.Header().Set("Retry-After", "10")
 		writeError(w, http.StatusServiceUnavailable, "server is draining; resubmit after restart")
 		return
 	}
@@ -110,16 +115,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.depth++
 	depth := s.depth
-	id := JobID(s.seq)
-	s.seq++
-	jb := &job{
-		id:      id,
-		client:  client,
-		spec:    spec,
-		created: s.now(),
-		state:   StateQueued,
-		trace:   telemetry.NewTrace(s.cfg.EventsCap),
+	s.mu.Unlock()
+
+	// The ID comes from the store's flock-guarded counter, not process
+	// memory: two fleet workers admitting concurrently can never mint the
+	// same sequence.
+	id, err := s.store.AllocateID()
+	if err != nil {
+		s.mu.Lock()
+		s.depth--
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("allocate job id: %v", err))
+		return
 	}
+	jb := &job{
+		id:       id,
+		client:   client,
+		spec:     spec,
+		created:  s.now(),
+		state:    StateQueued,
+		enqueued: true,
+		trace:    telemetry.NewTrace(s.cfg.EventsCap),
+	}
+	s.mu.Lock()
 	s.jobs[id] = jb
 	s.order = append(s.order, id)
 	s.mu.Unlock()
@@ -155,7 +173,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.statuses()})
+	sts := s.statuses()
+	for i := range sts {
+		s.decorateOwner(&sts[i])
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": sts})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -164,7 +186,22 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	writeJSON(w, http.StatusOK, jb.status())
+	st := jb.status()
+	s.decorateOwner(&st)
+	writeJSON(w, http.StatusOK, st)
+}
+
+// decorateOwner fills a status's Owner/Epoch from the job's on-disk lease
+// in fleet mode — the disk is the source of truth for ownership, so the
+// status reflects peers' claims, not just this process's.
+func (s *Server) decorateOwner(st *Status) {
+	if s.leases == nil {
+		return
+	}
+	if l, err := lease.Load(s.cfg.LeaseFS, s.store.jobDir(st.ID)); err == nil && l != nil {
+		st.Owner = l.WorkerID
+		st.Epoch = l.Epoch
+	}
 }
 
 // handleEvents streams the job's scoped event ring as JSONL — the same
@@ -220,6 +257,32 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case state.terminal():
 		// Idempotent: already finished, report the state it finished in.
+	case state == StateQueued && s.leases != nil:
+		// Fleet mode: "queued" locally may be claimed by a peer. Take the
+		// lease first — the cancel's terminal write must go through the
+		// same fence as any other.
+		h, err := s.leases.Claim(s.store.jobDir(jb.id), jb.id)
+		if err != nil {
+			writeError(w, http.StatusConflict, fmt.Sprintf("job is owned by another worker; cancel there or retry: %v", err))
+			return
+		}
+		if res, lerr := s.store.LoadResult(jb.id); lerr == nil {
+			// A peer finished it in the meantime; its result stands.
+			s.adoptResult(jb, res)
+			state = res.State
+		} else {
+			jb.mu.Lock()
+			jb.hold = h
+			jb.mu.Unlock()
+			s.finishJob(jb, StateCanceled, "canceled while queued", nil, nil)
+			jb.mu.Lock()
+			jb.hold = nil
+			jb.mu.Unlock()
+			state = StateCanceled
+		}
+		if err := h.Release(); err != nil && !errors.Is(err, lease.ErrFenced) {
+			s.logf("job %s: release after cancel: %v", jb.id, err)
+		}
 	case state == StateQueued:
 		// Persist the terminal marker now, so the cancel survives a crash
 		// that happens before a worker dequeues the job.

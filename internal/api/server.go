@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"voltsmooth/internal/journal"
+	"voltsmooth/internal/lease"
 	"voltsmooth/internal/runner"
 	"voltsmooth/internal/telemetry"
 )
@@ -68,6 +69,26 @@ type Config struct {
 	// seam (like journal.OnRecord) for holding a worker in place while a
 	// saturation test fills the queue. Production code leaves it nil.
 	BeforeJob func(id string)
+
+	// Fleet switches job ownership from the in-process queue to durable
+	// per-job leases (internal/lease), so any number of processes sharing
+	// one store can run jobs: each worker scans for unowned or expired
+	// jobs, claims them under the store's flock, renews on a heartbeat,
+	// and fences stale owners by epoch. Off by default — a single-process
+	// server needs none of it.
+	Fleet bool
+	// WorkerID names this process in lease files; must be unique across
+	// the live fleet. Empty means "<hostname>-<pid>".
+	WorkerID string
+	// LeaseTTL is how long a claim or renewal confers ownership — the
+	// failover detection latency for dead workers. <= 0 means 3s.
+	LeaseTTL time.Duration
+	// ScanInterval is the claim scanner's cadence; <= 0 means LeaseTTL/3.
+	ScanInterval time.Duration
+	// LeaseFS is the lease layer's filesystem seam; nil means the real
+	// filesystem. The fleet e2e injects the chaos plane here so seeded
+	// kill-points land inside claim transactions too.
+	LeaseFS lease.FS
 }
 
 // Server is the campaign service: admission, queue, executor pool, job
@@ -79,10 +100,13 @@ type Server struct {
 	logf   func(format string, args ...any)
 	now    func() time.Time
 
+	// leases is non-nil exactly in fleet mode: the lease manager for this
+	// worker's claims over the shared store.
+	leases *lease.Manager
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string // submission order
-	seq      int
 	depth    int // jobs admitted but not yet picked by a worker
 	draining bool
 
@@ -135,6 +159,18 @@ func New(cfg Config) (*Server, error) {
 	if now == nil {
 		now = time.Now
 	}
+	if cfg.Fleet {
+		if cfg.WorkerID == "" {
+			host, _ := os.Hostname()
+			cfg.WorkerID = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		if cfg.LeaseTTL <= 0 {
+			cfg.LeaseTTL = 3 * time.Second
+		}
+		if cfg.ScanInterval <= 0 {
+			cfg.ScanInterval = cfg.LeaseTTL / 3
+		}
+	}
 
 	s := &Server{
 		cfg:      cfg,
@@ -146,6 +182,17 @@ func New(cfg Config) (*Server, error) {
 		stopPick: make(chan struct{}),
 	}
 	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
+	if cfg.Fleet {
+		s.leases = &lease.Manager{
+			WorkerID: cfg.WorkerID,
+			TTL:      cfg.LeaseTTL,
+			FS:       cfg.LeaseFS,
+			Now:      now,
+			Warn: func(format string, args ...any) {
+				logf("lease: "+format, args...)
+			},
+		}
+	}
 
 	// Recovery on boot: replay the store. Terminal jobs are served from
 	// their persisted results; unfinished ones go back on the queue and
@@ -164,9 +211,6 @@ func New(cfg Config) (*Server, error) {
 			spec:    sj.Record.Spec,
 			created: time.Unix(0, sj.Record.CreatedUnixNS),
 			trace:   telemetry.NewTrace(cfg.EventsCap),
-		}
-		if n, ok := seqOf(sj.Record.ID); ok && n >= s.seq {
-			s.seq = n + 1
 		}
 		if sj.Result != nil {
 			jb.state = sj.Result.State
@@ -189,16 +233,19 @@ func New(cfg Config) (*Server, error) {
 		s.jobs[jb.id] = jb
 		s.order = append(s.order, jb.id)
 	}
-	if s.seq == 0 {
-		s.seq = 1
-	}
 
 	// The channel is sized so an admission that passed the depth check
 	// can never block: QueueCap live slots plus one per recovered job
-	// preloaded before serving starts.
-	s.work = make(chan *job, cfg.QueueCap+len(recovered))
+	// preloaded before serving starts. Fleet mode adds headroom for the
+	// claim scanner's non-blocking enqueues of peer-abandoned jobs.
+	capacity := cfg.QueueCap + len(recovered)
+	if cfg.Fleet {
+		capacity += 64
+	}
+	s.work = make(chan *job, capacity)
 	for _, jb := range recovered {
 		s.depth++
+		jb.enqueued = true
 		s.work <- jb
 		hookInc(func(h *Hooks) *telemetry.Counter { return h.Recovered })
 		jb.trace.Emit(telemetry.Event{Kind: "api.job.recovered", ID: jb.id})
@@ -211,7 +258,134 @@ func New(cfg Config) (*Server, error) {
 	for i := 0; i < cfg.JobWorkers; i++ {
 		go s.worker()
 	}
+	if cfg.Fleet {
+		s.workerWG.Add(1)
+		go s.scanLoop()
+	}
 	return s, nil
+}
+
+// scanLoop is fleet mode's ownership pump: every ScanInterval it rescans
+// the shared store, learns about jobs peers submitted, adopts results
+// peers finished, and enqueues claim attempts for jobs nobody owns —
+// including jobs whose owner died and let the lease expire. Claims
+// themselves happen in runJob under the store flock; the scanner only
+// nominates candidates, so a lost race costs one queue slot, never
+// correctness.
+func (s *Server) scanLoop() {
+	defer s.workerWG.Done()
+	t := time.NewTicker(s.cfg.ScanInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopPick:
+			return
+		case <-t.C:
+			s.scanOnce()
+		}
+	}
+}
+
+// scanOnce is one pass of the fleet scanner.
+func (s *Server) scanOnce() {
+	stored, err := s.store.Scan(func(format string, args ...any) {
+		s.logf("fleet scan: "+format, args...)
+	})
+	if err != nil {
+		s.logf("fleet scan: %v", err)
+		return
+	}
+	for _, sj := range stored {
+		id := sj.Record.ID
+
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			return
+		}
+		jb, known := s.jobs[id]
+		if !known {
+			// A peer admitted this job; mirror it locally so /jobs serves
+			// it and the claim path below can pick it up.
+			jb = &job{
+				id:      id,
+				client:  sj.Record.Client,
+				spec:    sj.Record.Spec,
+				created: time.Unix(0, sj.Record.CreatedUnixNS),
+				state:   StateQueued,
+				trace:   telemetry.NewTrace(s.cfg.EventsCap),
+			}
+			s.jobs[id] = jb
+			s.order = append(s.order, id)
+		}
+		s.mu.Unlock()
+
+		if sj.Result != nil {
+			s.adoptResult(jb, sj.Result)
+			continue
+		}
+
+		jb.mu.Lock()
+		skip := jb.state.terminal() || jb.state == StateRunning || jb.enqueued
+		jb.mu.Unlock()
+		if skip {
+			continue
+		}
+
+		// Peek at the lease before spending a queue slot: a job under a
+		// peer's live lease is theirs until the TTL says otherwise.
+		if l, err := lease.Load(s.cfg.LeaseFS, s.store.jobDir(id)); err == nil &&
+			l.LiveAt(s.now()) && l.WorkerID != s.cfg.WorkerID {
+			continue
+		}
+
+		s.mu.Lock()
+		jb.mu.Lock()
+		ok := !jb.enqueued && !jb.state.terminal() && jb.state != StateRunning
+		if ok {
+			jb.enqueued = true
+		}
+		jb.mu.Unlock()
+		if ok {
+			select {
+			case s.work <- jb:
+				s.depth++
+			default:
+				// Channel full: local workers are saturated; the next scan
+				// retries.
+				jb.mu.Lock()
+				jb.enqueued = false
+				jb.mu.Unlock()
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// adoptResult installs a terminal result a peer worker persisted, so this
+// process's view of the job converges with the store. Local queued copies
+// flip terminal; a locally running job is left alone — its own lease
+// heartbeat fences it if it truly lost the job.
+func (s *Server) adoptResult(jb *job, res *Result) {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	if jb.state.terminal() || jb.state == StateRunning {
+		return
+	}
+	jb.state = res.State
+	jb.errMsg = res.Error
+	jb.result = res
+	jb.resumedUnits = res.ResumedUnits
+	jb.prog.units.Store(res.Units)
+	jb.prog.expDone.Store(uint64(len(res.Renders)))
+	if res.StartedUnixNS != 0 {
+		jb.started = time.Unix(0, res.StartedUnixNS)
+	}
+	if res.FinishedUnixNS != 0 {
+		jb.finished = time.Unix(0, res.FinishedUnixNS)
+	}
+	jb.trace.Emit(telemetry.Event{Kind: "api.job." + string(res.State), ID: jb.id, Detail: "adopted from peer result"})
+	s.logf("job %s: adopted peer result (%s, %d units)", jb.id, res.State, res.Units)
 }
 
 // Recovering is reported by Status for observability; the count of jobs

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 )
 
 // Store is the durable job store under one directory:
@@ -19,6 +20,10 @@ import (
 //	                               journal (internal/journal format)
 //	<dir>/jobs/<id>/result.json    terminal record; its presence marks the
 //	                               job finished across restarts
+//	<dir>/jobs/<id>/lease.json     fleet-mode ownership record (internal/lease)
+//	<dir>/jobs/<id>/lease.log      lease history (claims, renewals, fences)
+//	<dir>/seq                      flock-guarded job-ID counter shared by every
+//	                               process on the store (AllocateID)
 //
 // Recovery on boot is a pure function of this layout: Scan returns every
 // job in submission order; a job with a result is terminal and served
@@ -137,7 +142,9 @@ func (s *Store) Scan(warn func(format string, args ...any)) ([]StoredJob, error)
 }
 
 // NextSeq returns the next job sequence number: one past the highest
-// sequence among stored jobs.
+// sequence among stored jobs. It is a fallback for seeding the durable
+// counter — allocation itself must go through AllocateID, which holds the
+// store-level lock two processes can both respect.
 func (s *Store) NextSeq() (int, error) {
 	stored, err := s.Scan(nil)
 	if err != nil {
@@ -152,16 +159,78 @@ func (s *Store) NextSeq() (int, error) {
 	return max + 1, nil
 }
 
+// AllocateID hands out the next job ID under a store-level flock'd counter
+// file (<dir>/seq), so any number of processes sharing the store can never
+// race to the same sequence. The flock is BLOCKING — allocation is a
+// microsecond transaction and every caller must get an answer — unlike the
+// non-blocking claim locks of the lease layer. The counter is seeded from
+// a store scan the first time a store without one allocates.
+func (s *Store) AllocateID() (string, error) {
+	release, err := lockBlocking(filepath.Join(s.dir, "seq.lock"))
+	if err != nil {
+		return "", fmt.Errorf("api: lock seq counter: %w", err)
+	}
+	defer release()
+
+	seqPath := filepath.Join(s.dir, "seq")
+	next := 0
+	data, err := os.ReadFile(seqPath)
+	switch {
+	case err == nil:
+		n, perr := strconv.Atoi(strings.TrimSpace(string(data)))
+		if perr != nil || n < 1 {
+			return "", fmt.Errorf("api: corrupt seq counter %q in %s", strings.TrimSpace(string(data)), seqPath)
+		}
+		next = n
+	case errors.Is(err, os.ErrNotExist):
+		if next, err = s.NextSeq(); err != nil {
+			return "", err
+		}
+	default:
+		return "", fmt.Errorf("api: read seq counter: %w", err)
+	}
+	if err := writeFileAtomic(seqPath, next+1); err != nil {
+		return "", fmt.Errorf("api: advance seq counter: %w", err)
+	}
+	return JobID(next), nil
+}
+
+// lockBlocking takes a blocking exclusive flock on path, creating it if
+// needed, and returns the release function. The file is never removed
+// (removing it would race a concurrent locker onto a dead inode).
+func lockBlocking(path string) (func() error, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f.Close, nil
+}
+
 // JobID formats a sequence number as a job ID ("j000042"): zero-padded so
 // lexical order is submission order.
 func JobID(seq int) string { return fmt.Sprintf("j%06d", seq) }
 
+// seqOf parses a job ID's sequence. Only "j" + decimal digits qualifies:
+// anything else ("j-12", "jx", a stray directory name) must not feed the
+// sequence computation, where a negative or bogus parse could poison the
+// next allocation.
 func seqOf(id string) (int, bool) {
-	if !strings.HasPrefix(id, "j") {
+	digits, ok := strings.CutPrefix(id, "j")
+	if !ok || digits == "" {
 		return 0, false
 	}
-	n, err := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	for i := 0; i < len(digits); i++ {
+		if digits[i] < '0' || digits[i] > '9' {
+			return 0, false
+		}
+	}
+	n, err := strconv.Atoi(digits)
 	if err != nil {
+		// All-digit but overflowing int: not a sequence we minted.
 		return 0, false
 	}
 	return n, true

@@ -1,8 +1,10 @@
 package api
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -129,5 +131,170 @@ func TestQuotaBucketRefills(t *testing.T) {
 		if ok, _ := free.take("any"); !ok {
 			t.Fatal("disabled quotas refused")
 		}
+	}
+}
+
+// TestSeqOfRejectsMalformedIDs pins the ID parser against inputs that
+// could poison the sequence computation — most importantly "j-12", whose
+// negative parse used to slip through Atoi.
+func TestSeqOfRejectsMalformedIDs(t *testing.T) {
+	cases := []struct {
+		id   string
+		n    int
+		want bool
+	}{
+		{"j000001", 1, true},
+		{"j42", 42, true},
+		{"j-12", 0, false},
+		{"j+3", 0, false},
+		{"j", 0, false},
+		{"j00001x", 0, false},
+		{"jobs", 0, false},
+		{"x000001", 0, false},
+		{"", 0, false},
+		{"j 7", 0, false},
+		{"j99999999999999999999999999", 0, false}, // overflows int
+	}
+	for _, c := range cases {
+		n, ok := seqOf(c.id)
+		if ok != c.want || (ok && n != c.n) {
+			t.Errorf("seqOf(%q) = (%d, %v), want (%d, %v)", c.id, n, ok, c.n, c.want)
+		}
+	}
+}
+
+// TestAllocateIDConcurrent races many allocators — goroutines over
+// separate Store handles, as separate processes would be — against one
+// store: every ID must be unique, and the sequence dense from 1.
+func TestAllocateIDConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	const allocators, perAllocator = 8, 25
+
+	var mu sync.Mutex
+	seen := map[string]string{}
+	var wg sync.WaitGroup
+	for a := 0; a < allocators; a++ {
+		st, err := OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		who := fmt.Sprintf("alloc-%d", a)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perAllocator; i++ {
+				id, err := st.AllocateID()
+				if err != nil {
+					t.Errorf("%s: %v", who, err)
+					return
+				}
+				mu.Lock()
+				if prev, dup := seen[id]; dup {
+					t.Errorf("id %s allocated twice (%s and %s)", id, prev, who)
+				}
+				seen[id] = who
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != allocators*perAllocator {
+		t.Fatalf("%d unique ids, want %d", len(seen), allocators*perAllocator)
+	}
+	for n := 1; n <= allocators*perAllocator; n++ {
+		if _, ok := seen[JobID(n)]; !ok {
+			t.Errorf("sequence has a hole at %s", JobID(n))
+		}
+	}
+}
+
+// TestAllocateIDSeedsFromExistingJobs pins the counter bootstrap: a store
+// that grew jobs before the counter file existed allocates past them, and
+// malformed directory names cannot drag the seed backwards.
+func TestAllocateIDSeedsFromExistingJobs(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Experiments: []string{"fig7"}, Scale: "tiny"}
+	if err := st.CreateJob(JobRecord{ID: JobID(7), Client: "c", Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := st.AllocateID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != JobID(8) {
+		t.Fatalf("first allocation = %s, want %s (one past the stored max)", id, JobID(8))
+	}
+	if id, _ := st.AllocateID(); id != JobID(9) {
+		t.Fatalf("second allocation = %s, want %s (counter, not rescan)", id, JobID(9))
+	}
+}
+
+// TestStoreScanWarnPaths pins that every damaged-store shape recovery can
+// meet — corrupt job.json, torn result.json, a stray non-job directory —
+// warns and continues; none may abort the scan.
+func TestStoreScanWarnPaths(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Experiments: []string{"fig7"}, Scale: "tiny"}
+
+	// Healthy terminal job: the control.
+	if err := st.CreateJob(JobRecord{ID: JobID(1), Client: "c", Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteResult(&Result{ID: JobID(1), State: StateDone, Units: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt job.json: must warn and skip the job.
+	if err := os.MkdirAll(filepath.Join(dir, "jobs", JobID(2)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "jobs", JobID(2), "job.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Torn result.json on a healthy record: must warn and treat the job as
+	// unfinished (re-run from journal), never trust the fragment.
+	if err := st.CreateJob(JobRecord{ID: JobID(3), Client: "c", Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "jobs", JobID(3), "result.json"), []byte(`{"id":"j0000`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A stray directory that is no job at all.
+	if err := os.MkdirAll(filepath.Join(dir, "jobs", "lost+found"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A stray plain file in jobs/ (an editor backup, a tmp leftover).
+	if err := os.WriteFile(filepath.Join(dir, "jobs", "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warnings := 0
+	jobs, err := st.Scan(func(format string, args ...any) {
+		warnings++
+		t.Logf("warn: "+format, args...)
+	})
+	if err != nil {
+		t.Fatalf("scan aborted: %v", err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("scan: %d jobs, want 2 (healthy + torn-result)", len(jobs))
+	}
+	if jobs[0].Record.ID != JobID(1) || jobs[0].Result == nil {
+		t.Errorf("scan[0] = %s (result %v), want %s terminal", jobs[0].Record.ID, jobs[0].Result, JobID(1))
+	}
+	if jobs[1].Record.ID != JobID(3) || jobs[1].Result != nil {
+		t.Errorf("scan[1] = %s (result %v), want %s unfinished (torn result distrusted)", jobs[1].Record.ID, jobs[1].Result, JobID(3))
+	}
+	// Corrupt job.json, torn result, stray dir each warn. (The stray file
+	// is silently ignored: jobs are directories by definition.)
+	if warnings < 3 {
+		t.Errorf("%d warnings, want >= 3 (corrupt job.json, torn result, stray dir)", warnings)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
@@ -331,6 +332,95 @@ func (fs *FS) Lock(name string) (func() error, error) {
 		return l.Lock(name)
 	}
 	return func() error { return nil }, nil
+}
+
+// The three methods below make *FS satisfy the lease layer's FS seam
+// (internal/lease.FS), so fleet mode can wire one plane under both the
+// journal and the claim path: seeded kill-points then land inside claim
+// transactions, renewals, and the guarded terminal write, exactly like a
+// process death there. Lease ops draw from the same op stream as journal
+// ops; in non-fleet runs none of these are ever called, so pre-fleet
+// seeded schedules replay unchanged.
+
+// ReadFile reads the whole file through the plane (one read-op draw via
+// the wrapped handle; bit-flips and kill-points apply).
+func (fs *FS) ReadFile(name string) ([]byte, error) {
+	f, err := fs.OpenRead(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(&fileReader{f})
+}
+
+// fileReader adapts a journal.File to io.Reader for ReadAll.
+type fileReader struct{ f journal.File }
+
+func (r *fileReader) Read(p []byte) (int, error) { return r.f.Read(p) }
+
+// WriteFileAtomic implements the lease layer's atomic replace through the
+// plane. One write-op draw covers the whole tmp+fsync+rename transaction;
+// any injected fault persists at most a prefix of the TEMP file and never
+// renames — the destination keeps its old contents, preserving exactly
+// the crash-atomicity the lease protocol relies on.
+func (fs *FS) WriteFileAtomic(name string, data []byte) error {
+	fault, dead, r := fs.next(opWrite, name)
+	if dead {
+		return ErrKilled
+	}
+	switch fault {
+	case Latency:
+		fs.sleep(r)
+	case NoSpace:
+		return ErrNoSpace
+	case TornWrite, ShortWrite, Kill:
+		// Crash mid-transaction: a prefix reaches the temp file, the
+		// rename never happens.
+		if tmp, err := os.CreateTemp(filepath.Dir(name), "."+filepath.Base(name)+".chaos-"); err == nil {
+			tmp.Write(data[:prefixLen(r, len(data))])
+			tmp.Close()
+		}
+		if fault == Kill {
+			return ErrKilled
+		}
+		return errTorn
+	}
+	return writeFileAtomicOS(name, data)
+}
+
+// writeFileAtomicOS is the real tmp+fsync+rename (the fault-free path).
+func writeFileAtomicOS(name string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(name), "."+filepath.Base(name)+".tmp-")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), name)
+}
+
+// AppendFile appends through the plane (open + one write-op draw): the
+// lease history log sees the same torn-tail faults the journal does.
+func (fs *FS) AppendFile(name string, data []byte) error {
+	f, err := fs.OpenAppend(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // file wraps one handle, routing every op through the plane.

@@ -1,0 +1,81 @@
+package lease
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// FS abstracts the filesystem operations the lease layer performs, so the
+// chaos plane (internal/chaos) can sit between it and the OS and inject
+// faults and kill-points into the claim path. Production code uses the
+// real filesystem (the nil default).
+type FS interface {
+	// ReadFile returns the whole file (lease.json, lease.log).
+	ReadFile(name string) ([]byte, error)
+	// WriteFileAtomic replaces name with data via tmp+fsync+rename: after
+	// any crash the file holds either its old contents or the complete
+	// new ones, never a prefix.
+	WriteFileAtomic(name string, data []byte) error
+	// AppendFile appends data to name, creating it if needed (the
+	// history log).
+	AppendFile(name string, data []byte) error
+	// Lock takes a non-blocking exclusive flock on the "<name>.lock"
+	// sidecar and returns the release function. The lock dies with its
+	// holder (kernel flock semantics), so a SIGKILLed worker can never
+	// wedge a job's claim transactions.
+	Lock(name string) (release func() error, err error)
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) WriteFileAtomic(name string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(name), "."+filepath.Base(name)+".tmp-")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), name)
+}
+
+func (osFS) AppendFile(name string, data []byte) error {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Lock mirrors journal.OSFS's flock discipline: LOCK_EX|LOCK_NB on a
+// sidecar that is never removed (removing it would race a concurrent
+// locker onto a dead inode).
+func (osFS) Lock(name string) (func() error, error) {
+	f, err := os.OpenFile(name+".lock", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lease: open lock file %s: %w", name+".lock", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lease: %s contended: %w", name+".lock", err)
+	}
+	return f.Close, nil
+}

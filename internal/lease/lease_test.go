@@ -1,0 +1,303 @@
+package lease_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"voltsmooth/internal/lease"
+	"voltsmooth/internal/lease/leasetest"
+)
+
+// clock is a settable fake time source shared by test managers.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newClock() *clock { return &clock{t: time.Unix(1_000_000, 0)} }
+
+func (c *clock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func manager(t *testing.T, id string, ttl time.Duration, ck *clock) *lease.Manager {
+	t.Helper()
+	return &lease.Manager{WorkerID: id, TTL: ttl, Now: ck.now, Warn: t.Logf}
+}
+
+// TestClaimRenewExpireReclaim walks the whole ownership lifecycle: vacant
+// claim at epoch 1, a live lease refuses peers, renewal extends it,
+// expiry hands it over at epoch 2, and the takeover leaves an epoch
+// history that proves no two live leases ever overlapped.
+func TestClaimRenewExpireReclaim(t *testing.T) {
+	dir := t.TempDir()
+	ck := newClock()
+	a := manager(t, "worker-a", time.Minute, ck)
+	b := manager(t, "worker-b", time.Minute, ck)
+
+	ha, err := a.Claim(dir, "j000001")
+	if err != nil {
+		t.Fatalf("vacant claim: %v", err)
+	}
+	if ha.Epoch() != 1 {
+		t.Fatalf("first epoch = %d, want 1", ha.Epoch())
+	}
+
+	// Live lease: a peer's claim is refused.
+	if _, err := b.Claim(dir, "j000001"); !errors.Is(err, lease.ErrHeld) {
+		t.Fatalf("claim of live lease: %v, want ErrHeld", err)
+	}
+
+	// Renewal extends expiry past the original TTL.
+	ck.advance(40 * time.Second)
+	if err := ha.Renew(17); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	ck.advance(40 * time.Second) // 80s from claim, 40s from renewal: still live
+	if _, err := b.Claim(dir, "j000001"); !errors.Is(err, lease.ErrHeld) {
+		t.Fatalf("claim of renewed lease: %v, want ErrHeld", err)
+	}
+	if l, _ := lease.Load(nil, dir); l == nil || l.Units != 17 {
+		t.Fatalf("renewed lease = %+v, want units 17", l)
+	}
+
+	// Owner dies (stops renewing). After expiry the peer takes over.
+	ck.advance(2 * time.Minute)
+	hb, err := b.Claim(dir, "j000001")
+	if err != nil {
+		t.Fatalf("claim of expired lease: %v", err)
+	}
+	if hb.Epoch() != 2 {
+		t.Fatalf("takeover epoch = %d, want 2", hb.Epoch())
+	}
+
+	hist, err := lease.History(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leasetest.AssertExclusiveOwnership(t, hist)
+	var claims []lease.Event
+	for _, ev := range hist {
+		if ev.Op == "claim" {
+			claims = append(claims, ev)
+		}
+	}
+	if len(claims) != 2 || claims[0].WorkerID != "worker-a" || claims[1].WorkerID != "worker-b" {
+		t.Fatalf("claim history = %+v, want a then b", claims)
+	}
+}
+
+// TestStaleHandleIsFenced pins the epoch fence: after a successor claims,
+// every mutation through the old handle — renew, release, and the
+// guarded terminal write — fails with ErrFenced and the guarded function
+// never runs.
+func TestStaleHandleIsFenced(t *testing.T) {
+	dir := t.TempDir()
+	ck := newClock()
+	a := manager(t, "worker-a", time.Second, ck)
+	b := manager(t, "worker-b", time.Second, ck)
+
+	ha, err := a.Claim(dir, "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.advance(5 * time.Second) // a's lease expires (paused worker)
+	if _, err := b.Claim(dir, "j1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// a wakes up. Every path must fence.
+	if err := ha.Renew(1); !errors.Is(err, lease.ErrFenced) {
+		t.Errorf("stale renew: %v, want ErrFenced", err)
+	}
+	ran := false
+	if err := ha.Guard(func() error { ran = true; return nil }); !errors.Is(err, lease.ErrFenced) {
+		t.Errorf("stale guard: %v, want ErrFenced", err)
+	}
+	if ran {
+		t.Error("guarded function ran through a stale handle")
+	}
+	if err := ha.Release(); !errors.Is(err, lease.ErrFenced) {
+		t.Errorf("stale release: %v, want ErrFenced", err)
+	}
+
+	// The fence rejections are in the history.
+	hist, _ := lease.History(nil, dir)
+	fences := 0
+	for _, ev := range hist {
+		if ev.Op == "fence" && ev.WorkerID == "worker-a" {
+			fences++
+		}
+	}
+	if fences != 3 {
+		t.Errorf("history records %d fences for worker-a, want 3", fences)
+	}
+	// And the current owner is untouched by any of it.
+	if l, _ := lease.Load(nil, dir); l == nil || l.WorkerID != "worker-b" || l.Epoch != 2 {
+		t.Errorf("lease after fenced mutations = %+v, want worker-b epoch 2", l)
+	}
+}
+
+// TestReleaseMakesJobImmediatelyClaimable pins deliberate handback: no
+// TTL wait, epoch still advances, record stays on disk.
+func TestReleaseMakesJobImmediatelyClaimable(t *testing.T) {
+	dir := t.TempDir()
+	ck := newClock()
+	a := manager(t, "worker-a", time.Hour, ck)
+	b := manager(t, "worker-b", time.Hour, ck)
+
+	ha, err := a.Claim(dir, "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ha.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if l, _ := lease.Load(nil, dir); l == nil || !l.Released {
+		t.Fatalf("released lease = %+v, want released record, not deletion", l)
+	}
+	hb, err := b.Claim(dir, "j1")
+	if err != nil {
+		t.Fatalf("claim after release: %v", err)
+	}
+	if hb.Epoch() != 2 {
+		t.Errorf("epoch after release = %d, want 2", hb.Epoch())
+	}
+}
+
+// TestCorruptLeaseIsClaimableWithWarning: a torn or garbage lease file
+// cannot name a live owner, so it must not brick the job.
+func TestCorruptLeaseIsClaimableWithWarning(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "lease.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warned := 0
+	m := &lease.Manager{WorkerID: "w", TTL: time.Minute, Now: newClock().now,
+		Warn: func(format string, args ...any) { warned++; t.Logf(format, args...) }}
+	h, err := m.Claim(dir, "j1")
+	if err != nil {
+		t.Fatalf("claim over corrupt lease: %v", err)
+	}
+	if h.Epoch() != 1 {
+		t.Errorf("epoch over corrupt lease = %d, want restart at 1", h.Epoch())
+	}
+	if warned == 0 {
+		t.Error("corrupt lease claimed without a warning")
+	}
+	// Observers must see the corruption, not vacancy.
+	os.WriteFile(filepath.Join(dir, "lease.json"), []byte("{torn"), 0o644)
+	if _, err := lease.Load(nil, dir); err == nil {
+		t.Error("Load of corrupt lease returned no error")
+	}
+}
+
+// TestConcurrentClaimExactlyOneWinner pins the flock arbiter: many
+// goroutines (distinct "workers") race to claim one vacant job; exactly
+// one claim may succeed.
+func TestConcurrentClaimExactlyOneWinner(t *testing.T) {
+	dir := t.TempDir()
+	const racers = 8
+	var wins, refusals atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < racers; i++ {
+		m := &lease.Manager{WorkerID: fmt.Sprintf("racer-%d", i), TTL: time.Hour, Warn: t.Logf}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_, err := m.Claim(dir, "j1")
+			switch {
+			case err == nil:
+				wins.Add(1)
+			case errors.Is(err, lease.ErrHeld) || errors.Is(err, lease.ErrLockBusy):
+				refusals.Add(1)
+			default:
+				t.Errorf("unexpected claim error: %v", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if wins.Load() != 1 {
+		t.Fatalf("%d racers won the claim, want exactly 1 (%d refused)", wins.Load(), refusals.Load())
+	}
+	hist, _ := lease.History(nil, dir)
+	claims := 0
+	for _, ev := range hist {
+		if ev.Op == "claim" {
+			claims++
+		}
+	}
+	if claims != 1 {
+		t.Fatalf("history shows %d claims, want 1", claims)
+	}
+}
+
+// TestKeepHeartbeatRenewsAndFences drives the renewal goroutine with real
+// timers: it must keep the lease live while running, and call onFenced
+// exactly once after its epoch is superseded.
+func TestKeepHeartbeatRenewsAndFences(t *testing.T) {
+	dir := t.TempDir()
+	a := &lease.Manager{WorkerID: "a", TTL: 200 * time.Millisecond, Warn: t.Logf}
+
+	ha, err := a.Claim(dir, "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fenced := make(chan error, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ha.Keep(ctx, 0, func() uint64 { return 42 }, func(err error) { fenced <- err })
+	}()
+
+	// The heartbeat outlives several TTLs.
+	deadlineOK := time.Now().Add(time.Second)
+	for time.Now().Before(deadlineOK) {
+		if l, _ := lease.Load(nil, dir); !l.LiveAt(time.Now()) {
+			t.Fatal("heartbeat let the lease expire")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// A peer cannot steal a live lease, so supersede the epoch the way a
+	// restarted incarnation of the same worker does: a same-id claim
+	// always bumps the epoch, fencing the old handle.
+	restart := &lease.Manager{WorkerID: "a", TTL: time.Hour, Warn: t.Logf}
+	if _, err := restart.Claim(dir, "j1"); err != nil {
+		t.Fatalf("restart claim: %v", err)
+	}
+
+	select {
+	case err := <-fenced:
+		if !errors.Is(err, lease.ErrFenced) {
+			t.Fatalf("onFenced got %v, want ErrFenced", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("heartbeat never noticed the fence")
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Keep did not return after fencing")
+	}
+}

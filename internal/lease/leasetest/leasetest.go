@@ -1,0 +1,42 @@
+// Package leasetest holds the shared test oracle for lease histories. It
+// lives outside the lease package's own tests so the api fleet soak and
+// the black-box fleet e2e can assert the same exclusive-ownership
+// invariant over a job's lease.log.
+package leasetest
+
+import (
+	"testing"
+
+	"voltsmooth/internal/lease"
+)
+
+// AssertExclusiveOwnership fails the test unless the history shows (a)
+// strictly increasing epochs and (b) every claim acquired at or after the
+// expiry of the lease it replaced when that lease belonged to another
+// worker — i.e. no instant at which two workers both held a live lease.
+func AssertExclusiveOwnership(t testing.TB, hist []lease.Event) {
+	t.Helper()
+	var lastEpoch uint64
+	maxExpiry := map[string]int64{}
+	for _, ev := range hist {
+		switch ev.Op {
+		case "claim":
+			if ev.Epoch <= lastEpoch {
+				t.Errorf("epoch went %d -> %d at claim by %s (must strictly increase)", lastEpoch, ev.Epoch, ev.WorkerID)
+			}
+			lastEpoch = ev.Epoch
+			for w, exp := range maxExpiry {
+				if w != ev.WorkerID && ev.AtUnixNS < exp {
+					t.Errorf("claim by %s at %d overlaps %s's live lease (expires %d)", ev.WorkerID, ev.AtUnixNS, w, exp)
+				}
+			}
+			maxExpiry[ev.WorkerID] = ev.ExpiresUnixNS
+		case "renew":
+			if ev.ExpiresUnixNS > maxExpiry[ev.WorkerID] {
+				maxExpiry[ev.WorkerID] = ev.ExpiresUnixNS
+			}
+		case "release":
+			maxExpiry[ev.WorkerID] = ev.AtUnixNS
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"voltsmooth/internal/experiments"
 	"voltsmooth/internal/failsafe"
 	"voltsmooth/internal/journal"
+	"voltsmooth/internal/lease"
 	"voltsmooth/internal/pdn"
 	"voltsmooth/internal/runner"
 	"voltsmooth/internal/sched"
@@ -54,6 +55,13 @@ const (
 	ExpUnits       = "exp.units"
 	ExpEmergencies = "exp.emergencies"
 	ExpWallMS      = "exp.wall_ms"
+
+	LeaseClaims    = "lease.claims"
+	LeaseTakeovers = "lease.takeovers"
+	LeaseRefused   = "lease.refused"
+	LeaseRenewals  = "lease.renewals"
+	LeaseReleases  = "lease.releases"
+	LeaseFenced    = "lease.fenced"
 
 	APIJobsSubmitted   = "api.jobs_submitted"
 	APIJobsAdmitted    = "api.jobs_admitted"
@@ -138,6 +146,15 @@ func Install(reg *telemetry.Registry, tr *telemetry.Trace) func() {
 		WallTime:    timing(ExpWallMS),
 		Trace:       tr,
 	})
+	prevLease := lease.SetHooks(&lease.Hooks{
+		Claims:    counter(LeaseClaims),
+		Takeovers: counter(LeaseTakeovers),
+		Refused:   counter(LeaseRefused),
+		Renewals:  counter(LeaseRenewals),
+		Releases:  counter(LeaseReleases),
+		Fenced:    counter(LeaseFenced),
+		Trace:     tr,
+	})
 	prevAPI := api.SetHooks(&api.Hooks{
 		Submitted:   counter(APIJobsSubmitted),
 		Admitted:    counter(APIJobsAdmitted),
@@ -161,6 +178,7 @@ func Install(reg *telemetry.Registry, tr *telemetry.Trace) func() {
 		journal.SetHooks(prevJournal)
 		chaos.SetHooks(prevChaos)
 		experiments.SetHooks(prevExp)
+		lease.SetHooks(prevLease)
 		api.SetHooks(prevAPI)
 	}
 }
