@@ -56,6 +56,11 @@ func run(argv []string) int {
 		stallTimeout = fs.Duration("stall-timeout", 0, "per-attempt stall watchdog (0 = off)")
 		syncEvery    = fs.Int("sync-every", 1, "fsync job journals every N records (a server must survive machine crashes)")
 
+		// The cross-tenant result cache + SSE streaming (DESIGN §12).
+		cache        = fs.Bool("cache", true, "serve identical specs from the cross-tenant result cache (<store>/cache) and dedup identical in-flight jobs")
+		cacheMax     = fs.Int("cache-max", 0, "bound the result cache at N fingerprints, oldest evicted first (0 = unbounded)")
+		sseHeartbeat = fs.Duration("sse-heartbeat", 15*time.Second, "comment-heartbeat cadence of /jobs/{id}/events SSE streams")
+
 		// Fleet mode: any number of vsmoothd processes sharing one -store
 		// coordinate job ownership through durable per-job leases — a dead
 		// worker's jobs fail over to peers after -lease-ttl.
@@ -127,6 +132,9 @@ func run(argv []string) int {
 		StallTimeout:          *stallTimeout,
 		JournalFS:             journalFS,
 		SyncEvery:             *syncEvery,
+		DisableCache:          !*cache,
+		CacheMax:              *cacheMax,
+		SSEHeartbeat:          *sseHeartbeat,
 		Metrics:               reg,
 		Fleet:                 *fleet,
 		WorkerID:              *workerID,

@@ -6,12 +6,22 @@ import (
 	"time"
 )
 
+// maxRetryAfter caps the advertised quota backoff. With a practically-zero
+// rate, need/rate in seconds can exceed what float→time.Duration can hold
+// and the conversion overflows into a negative duration — which
+// retryAfterSeconds then clamps to "1s" for a token that effectively never
+// comes. Anything past an hour is "come back much later" either way.
+const maxRetryAfter = time.Hour
+
 // quotas is the per-client admission throttle: one token bucket per
 // client ID, refilled at Rate tokens/second up to Burst. A submission
 // spends one token; an empty bucket is a 429 whose Retry-After is the
-// time until the next token. Buckets are created on first use, so the
-// map is bounded by the distinct-client population (tenants, not
-// requests).
+// time until the next token. Buckets are created on first use and evicted
+// once idle long enough to have refilled to burst — a full bucket is
+// indistinguishable from a fresh one, so eviction changes no admission
+// decision, and the map is bounded by the clients active within one
+// refill window instead of every client ID ever seen (a spoofed
+// fresh X-Client per request must not leak a bucket forever).
 type quotas struct {
 	rate  float64 // tokens per second; <= 0 disables quotas entirely
 	burst float64
@@ -42,6 +52,7 @@ func (q *quotas) take(client string) (ok bool, retryAfter time.Duration) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	now := q.now()
+	q.evictIdle(now)
 	b := q.clients[client]
 	if b == nil {
 		b = &bucket{tokens: q.burst, last: now}
@@ -53,6 +64,31 @@ func (q *quotas) take(client string) (ok bool, retryAfter time.Duration) {
 		b.tokens--
 		return true, 0
 	}
-	need := (1 - b.tokens) / q.rate
+	need := (1 - b.tokens) / q.rate // seconds until the next token
+	if !(need < maxRetryAfter.Seconds()) {
+		// Also catches NaN/Inf from degenerate rates: the comparison is
+		// written to be false for them, not just for large finite waits.
+		return false, maxRetryAfter
+	}
 	return false, time.Duration(need * float64(time.Second))
+}
+
+// evictIdle sweeps buckets whose idle time has refilled them to burst.
+// Held under q.mu by take. The sweep is O(live buckets) per admission;
+// "live" is bounded by the clients seen within one full-refill window
+// (burst/rate seconds), which is exactly the state the throttle must
+// remember — a client still owing tokens keeps its bucket.
+func (q *quotas) evictIdle(now time.Time) {
+	for id, b := range q.clients {
+		if b.tokens+now.Sub(b.last).Seconds()*q.rate >= q.burst {
+			delete(q.clients, id)
+		}
+	}
+}
+
+// size reports the live bucket count (test hook for the bound).
+func (q *quotas) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.clients)
 }

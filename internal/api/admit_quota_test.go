@@ -1,0 +1,102 @@
+package api
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestQuotaMapBoundedUnderClientChurn pins the bucket-eviction fix: a
+// spoofed fresh X-Client per request must not leak a bucket forever. A
+// bucket is evicted exactly when it has idled long enough to be full
+// again — at which point it is indistinguishable from a fresh one, so
+// eviction can never change an admission decision.
+func TestQuotaMapBoundedUnderClientChurn(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := newQuotas(1, 5, func() time.Time { return now })
+
+	// 1000 unique clients in one instant: each bucket owes one token, so
+	// all are retained — the throttle must remember live debt.
+	for i := 0; i < 1000; i++ {
+		if ok, _ := q.take(fmt.Sprintf("churn-%d", i)); !ok {
+			t.Fatalf("fresh client %d refused", i)
+		}
+	}
+	if got := q.size(); got != 1000 {
+		t.Fatalf("buckets owing tokens were evicted: %d live, want 1000", got)
+	}
+
+	// One full refill window later (burst/rate = 5s) every bucket is full
+	// again; the next admission sweeps them all, leaving only its own.
+	now = now.Add(5 * time.Second)
+	if ok, _ := q.take("fresh"); !ok {
+		t.Fatal("fresh client refused after the churn")
+	}
+	if got := q.size(); got != 1 {
+		t.Fatalf("map not bounded after a refill window: %d buckets, want 1", got)
+	}
+}
+
+// TestQuotaEvictionKeepsIndebtedBuckets pins that eviction never refunds
+// spent tokens: a client partway through its burst keeps its bucket (and
+// its debt) across other clients' admissions.
+func TestQuotaEvictionKeepsIndebtedBuckets(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := newQuotas(1, 5, func() time.Time { return now })
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := q.take("debtor"); !ok {
+			t.Fatalf("burst take %d refused", i)
+		}
+	}
+	// 1s refills one token (2 -> 3 of 5): still indebted, still tracked.
+	now = now.Add(time.Second)
+	q.take("other")
+	if got := q.size(); got != 2 {
+		t.Fatalf("indebted bucket evicted: %d live, want 2 (debtor + other)", got)
+	}
+
+	// The remembered debt is real: exactly 3 tokens remain, the 4th take
+	// is refused. An eviction bug that dropped the bucket would refund
+	// the debtor to a full burst here.
+	for i := 0; i < 3; i++ {
+		if ok, _ := q.take("debtor"); !ok {
+			t.Fatalf("take %d of remaining tokens refused", i)
+		}
+	}
+	if ok, _ := q.take("debtor"); ok {
+		t.Fatal("admitted past burst: eviction refunded spent tokens")
+	}
+}
+
+// TestQuotaRetryAfterClamped pins the float→Duration overflow fix: with a
+// practically-zero refill rate, need/rate in seconds exceeds what a
+// time.Duration can hold and the naive conversion went negative — which
+// the HTTP layer then formatted as "1", telling the client to hammer a
+// bucket that refills in millennia. The wait is clamped to maxRetryAfter.
+func TestQuotaRetryAfterClamped(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+
+	q := newQuotas(1e-12, 1, clock)
+	if ok, _ := q.take("c"); !ok {
+		t.Fatal("burst token refused")
+	}
+	ok, retry := q.take("c")
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry != maxRetryAfter {
+		t.Fatalf("degenerate rate: retryAfter = %v, want the %v clamp", retry, maxRetryAfter)
+	}
+
+	// Just inside the clamp the wait must come out finite, positive, and
+	// close to the true need/rate (1 token at 1/3000 tokens per second).
+	q2 := newQuotas(1.0/3000, 1, clock)
+	q2.take("c")
+	if ok, retry := q2.take("c"); ok {
+		t.Fatal("empty bucket admitted")
+	} else if retry < 2900*time.Second || retry > 3100*time.Second {
+		t.Fatalf("finite wait distorted: retryAfter = %v, want ~3000s", retry)
+	}
+}

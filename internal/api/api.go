@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"voltsmooth/internal/experiments"
+	"voltsmooth/internal/journal"
 	"voltsmooth/internal/lease"
 	"voltsmooth/internal/telemetry"
 )
@@ -116,6 +117,25 @@ func (s JobSpec) Validate() (JobSpec, error) {
 	return s, nil
 }
 
+// ConfigFingerprint digests everything in the spec that determines the
+// campaign's rendered output — the experiment list, the scale, and the
+// fault-injection plan — and nothing that doesn't: Workers only shapes
+// fan-out (results are bit-identical at any width), Seed only jitters
+// retry backoff, TimeoutMS only bounds wall-clock. Two specs with equal
+// fingerprints render byte-identical figures, which is what licenses the
+// cross-tenant result cache (DESIGN §12) to share one execution between
+// them. Callers fingerprint the normalized (Validate'd) spec, so "all"
+// and the expanded list, or an empty and an explicit "tiny" scale, hash
+// alike.
+func (s JobSpec) ConfigFingerprint() string {
+	return journal.ConfigHash(struct {
+		Experiments  []string `json:"experiments"`
+		Scale        string   `json:"scale"`
+		FaultClasses []string `json:"fault_classes"`
+		FaultSeed    uint64   `json:"fault_seed"`
+	}{s.Experiments, s.Scale, s.FaultClasses, s.FaultSeed})
+}
+
 // Progress is a job's live progress snapshot, fed exclusively from
 // job-scoped observers (runner events, the job journal's replay hook).
 type Progress struct {
@@ -156,6 +176,9 @@ type job struct {
 	client  string
 	spec    JobSpec
 	created time.Time
+	// fingerprint is spec.ConfigFingerprint() — the result-cache key and
+	// the in-flight dedup key; computed once at admission/recovery.
+	fingerprint string
 
 	// trace is the job-scoped event ring served by /jobs/{id}/events.
 	trace *telemetry.Trace
@@ -171,6 +194,13 @@ type job struct {
 	canceled     bool // cancel requested (DELETE)
 	cancel       func()
 	result       *Result
+	cached       bool   // result served from the cache / a leader's run
+	cacheSource  string // job whose execution produced the renders
+
+	// watchers are the SSE subscribers of /jobs/{id}/events: each gets a
+	// coalescing tick (buffered-1, non-blocking send) on every progress
+	// update or state transition.
+	watchers map[chan struct{}]struct{}
 
 	// Fleet-mode fields. enqueued marks a job sitting on (or claimed off)
 	// the local work channel, so the claim scanner never double-enqueues;
@@ -180,6 +210,13 @@ type job struct {
 	enqueued bool
 	fenced   bool
 	hold     *lease.Handle
+
+	// follower marks a job attached to an identical in-flight job on this
+	// server (non-fleet dedup); it holds an admission depth slot but no
+	// work-channel slot. Guarded by Server.mu, not job.mu — attach,
+	// promotion, and release all happen inside the server's dedup
+	// registries.
+	follower bool
 }
 
 // isFenced reports whether the job's lease was superseded mid-run.
@@ -189,12 +226,46 @@ func (j *job) isFenced() bool {
 	return j.fenced
 }
 
-// setState transitions the job and emits the lifecycle trace event.
+// setState transitions the job, emits the lifecycle trace event, and
+// wakes SSE watchers.
 func (j *job) setState(s JobState, detail string) {
 	j.mu.Lock()
 	j.state = s
 	j.mu.Unlock()
 	j.trace.Emit(telemetry.Event{Kind: "api.job." + string(s), ID: j.id, Detail: detail})
+	j.notify()
+}
+
+// watch subscribes to the job's change notifications: the returned
+// channel receives a tick after every progress update or state
+// transition, coalesced into its one buffered slot. The returned stop
+// function unsubscribes (client disconnect, stream end).
+func (j *job) watch() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	j.mu.Lock()
+	if j.watchers == nil {
+		j.watchers = map[chan struct{}]struct{}{}
+	}
+	j.watchers[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.watchers, ch)
+		j.mu.Unlock()
+	}
+}
+
+// notify wakes every watcher without blocking: a reader that hasn't
+// drained its previous tick coalesces rather than queueing.
+func (j *job) notify() {
+	j.mu.Lock()
+	for ch := range j.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	j.mu.Unlock()
 }
 
 // Status is the JSON shape of GET /jobs/{id} (and the elements of
@@ -214,6 +285,11 @@ type Status struct {
 	ResumedUnits int    `json:"resumed_units"`
 	Recovered    bool   `json:"recovered,omitempty"`
 	Error        string `json:"error,omitempty"`
+	// Cached marks a job served from the cross-tenant result cache (or an
+	// identical in-flight job's execution) rather than its own run;
+	// CacheSource names the job whose execution produced the renders.
+	Cached      bool   `json:"cached,omitempty"`
+	CacheSource string `json:"cache_source,omitempty"`
 	// Owner and Epoch expose the job's on-disk lease in fleet mode: which
 	// worker holds (or last held) the job, at which fencing epoch. Empty
 	// outside fleet mode or before the first claim.
@@ -234,6 +310,8 @@ func (j *job) status() Status {
 		ResumedUnits:  j.resumedUnits,
 		Recovered:     j.recovered,
 		Error:         j.errMsg,
+		Cached:        j.cached,
+		CacheSource:   j.cacheSource,
 	}
 	if !j.started.IsZero() {
 		st.StartedUnixNS = j.started.UnixNano()
@@ -261,4 +339,9 @@ type Result struct {
 	Units          uint64 `json:"units"`
 	StartedUnixNS  int64  `json:"started_unix_ns,omitempty"`
 	FinishedUnixNS int64  `json:"finished_unix_ns,omitempty"`
+	// Cached / CacheSource mirror Status: this result was served from
+	// another job's execution (the cross-tenant result cache), whose ID is
+	// CacheSource. The renders are byte-identical to the source's.
+	Cached      bool   `json:"cached,omitempty"`
+	CacheSource string `json:"cache_source,omitempty"`
 }

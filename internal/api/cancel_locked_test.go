@@ -1,0 +1,98 @@
+package api_test
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"voltsmooth/internal/api"
+	"voltsmooth/internal/journal"
+)
+
+// TestCancelInterruptsJournalLockWait pins the ErrLocked-retry fix: a
+// fleet worker waiting out another process's journal flock used to sleep
+// in fixed 250ms beats that ignored cancellation; now the wait selects on
+// the job context, so a DELETE lands immediately — and is classified as a
+// cancel, not a job failure, and not a requeue after the full 4×TTL lock
+// budget.
+func TestCancelInterruptsJournalLockWait(t *testing.T) {
+	dir := t.TempDir()
+	entered := make(chan struct{}, 1)
+	lockHeld := make(chan struct{})
+	_, hs := newFleetServer(t, dir, "w1", func(c *api.Config) {
+		c.ScanInterval = time.Hour // no scanner noise; admission enqueues directly
+		c.LeaseTTL = 5 * time.Second
+		// Park the worker until the test holds the journal flock, so its
+		// openSession is guaranteed to land in the ErrLocked wait.
+		c.BeforeJob = func(string) {
+			select {
+			case entered <- struct{}{}:
+			default:
+			}
+			<-lockHeld
+		}
+	})
+	st, err := api.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ack map[string]string
+	if resp := submit(t, hs.URL, "tenant", tinySpec(), &ack); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	id := ack["id"]
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never picked the job up")
+	}
+
+	// Another "process" holds the journal flock (this test, via a direct
+	// open), so the worker's openSession spins on ErrLocked with a 4×TTL
+	// (20s) budget before requeueing.
+	jnl, err := journal.Open(st.JournalPath(id), "held-by-test", journal.Options{})
+	if err != nil {
+		t.Fatalf("hold journal lock: %v", err)
+	}
+	defer jnl.Close()
+	close(lockHeld)
+
+	// Wait for the run to be live (cancel must take the cooperative
+	// running path, which fires the job context).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var stj api.Status
+		getJSON(t, hs.URL+"/jobs/"+id, &stj)
+		if stj.State == api.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never reached running; last state %s", stj.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	canceledAt := time.Now()
+	req, _ := http.NewRequest("DELETE", hs.URL+"/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+
+	fin := waitTerminal(t, hs.URL, id)
+	elapsed := time.Since(canceledAt)
+	if fin.State != api.StateCanceled {
+		t.Fatalf("job finished %s (%s), want canceled", fin.State, fin.Error)
+	}
+	// Promptness is the point: the old bare sleep rode out its full beat
+	// (and the lock budget kept the job non-terminal for up to 4×TTL);
+	// the ctx-aware wait unwinds immediately.
+	if elapsed > 3*time.Second {
+		t.Errorf("cancel took %s to land while the journal was locked; the wait ignored the context", elapsed)
+	}
+}

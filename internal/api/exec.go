@@ -80,6 +80,51 @@ func (s *Server) runJob(jb *job) {
 		}
 	}
 
+	if s.cacheEnabled() {
+		// Cross-tenant dedup (DESIGN §12). First the durable cache: an
+		// identical campaign already finished somewhere — serve its renders
+		// as this job's terminal result (through the lease fence in fleet
+		// mode; finishFromCache routes the write via commitResult/Guard).
+		if e := s.cacheLookup(jb.fingerprint); e != nil {
+			s.finishFromCache(jb, e)
+			return
+		}
+		// Then the in-flight population: if another live job carries this
+		// fingerprint and outranks this one (lowest ID wins — every worker
+		// computes the same leader from its store mirror), this job follows
+		// instead of executing. Non-fleet: attach locally; the leader's
+		// completion pushes the result to every follower. Fleet: just step
+		// back to queued — the leader's finish publishes the cache entry,
+		// and the scanner re-nominates this job into the cache hit above.
+		if s.leases == nil {
+			s.mu.Lock()
+			if l := s.dedupLeaderLocked(jb.fingerprint); l != nil && l != jb {
+				jb.follower = true
+				s.followers[jb.fingerprint] = append(s.followers[jb.fingerprint], jb)
+				// The follower keeps holding an admission depth slot (its
+				// channel slot was consumed at dequeue), so queue-full
+				// backpressure still bounds total unfinished work.
+				s.depth++
+				depth := s.depth
+				s.mu.Unlock()
+				hookGaugeSet(func(h *Hooks) *telemetry.Gauge { return h.QueueDepth }, int64(depth))
+				jb.setState(StateQueued, "following identical in-flight job "+l.id)
+				hookTrace(telemetry.Event{Kind: "api.job.follows", ID: jb.id, Detail: l.id})
+				return
+			}
+			// This job executes: register as the dedup leader so identical
+			// later submissions attach to it. settle() deregisters on any
+			// terminal transition.
+			s.inflight[jb.fingerprint] = jb
+			s.mu.Unlock()
+		} else if l := s.dedupLeader(jb.fingerprint); l != nil && l != jb {
+			jb.setState(StateQueued, "following identical in-flight job "+l.id)
+			hookTrace(telemetry.Event{Kind: "api.job.follows", ID: jb.id, Detail: l.id})
+			return
+		}
+		hookInc(func(h *Hooks) *telemetry.Counter { return h.CacheMisses })
+	}
+
 	ctx, cancel := context.WithCancel(s.jobsCtx)
 	defer cancel()
 	timeout := s.cfg.DefaultTimeout
@@ -127,12 +172,24 @@ func (s *Server) runJob(jb *job) {
 				jb.setState(StateQueued, "journal locked by another process")
 				return
 			}
-			time.Sleep(250 * time.Millisecond)
-			sess, jnl, err = s.openSession(jb)
+			// Wait the holder out without going deaf to cancellation: a
+			// drain, fence, or DELETE must interrupt this wait immediately,
+			// not after another sleep-and-reopen round.
+			select {
+			case <-ctx.Done():
+			case <-time.After(250 * time.Millisecond):
+				sess, jnl, err = s.openSession(jb)
+			}
 		}
 	}
 	if err != nil {
-		if hold != nil && ctx.Err() != nil && !jb.isCanceled() {
+		if ctx.Err() != nil && jb.isCanceled() {
+			// A DELETE landed while the journal was still locked (or while
+			// opening): that is a cancel, not a job failure.
+			s.finishJob(jb, StateCanceled, "canceled while opening journal", nil, nil)
+			return
+		}
+		if hold != nil && ctx.Err() != nil {
 			// Fenced or drained while waiting on the journal lock: not a
 			// job failure. Leave it queued for whoever owns it next.
 			jb.setState(StateQueued, "interrupted before journal open")
@@ -242,6 +299,7 @@ func (s *Server) openSession(jb *job) (*experiments.Session, *journal.Journal, e
 	jnl.OnReplay = func(key string) {
 		jb.prog.units.Add(1)
 		jb.prog.replayed.Add(1)
+		jb.notify()
 	}
 	resumed := jnl.Len()
 	jb.mu.Lock()
@@ -279,6 +337,9 @@ func (s *Server) jobObserver(jb *job) func(runner.Event) {
 				jb.trace.Emit(telemetry.Event{Kind: "run.done", ID: ev.ID, Detail: firstLine(ev.Err)})
 			}
 		}
+		// Every observer event is an SSE tick; watchers coalesce, so this
+		// is one non-blocking send per unit, not a queue.
+		jb.notify()
 	}
 }
 
@@ -289,10 +350,16 @@ func (j *job) isCanceled() bool {
 	return j.canceled
 }
 
-// finishJob persists the terminal result (atomically — its presence is
-// the terminal marker recovery trusts) and transitions the job.
+// finishJob builds a terminal result from the job's own run and commits
+// it (persist + transition) via commitResult.
 func (s *Server) finishJob(jb *job, state JobState, errMsg string, renders map[string]string, attempts map[string]int) {
 	jb.mu.Lock()
+	if jb.state.terminal() {
+		// Already finished (e.g. served from a leader's result while this
+		// path raced to cancel): the first terminal transition stands.
+		jb.mu.Unlock()
+		return
+	}
 	jb.finished = s.now()
 	jb.errMsg = errMsg
 	res := &Result{
@@ -310,31 +377,65 @@ func (s *Server) finishJob(jb *job, state JobState, errMsg string, renders map[s
 	res.FinishedUnixNS = jb.finished.UnixNano()
 	jb.result = res
 	jb.mu.Unlock()
+	s.commitResult(jb, res)
+}
 
+// commitResult persists a terminal result (atomically — its presence is
+// the terminal marker recovery trusts), publishes completed executions to
+// the cross-tenant result cache, transitions the job, and settles the
+// dedup registries (followers, in-flight leadership). In fleet mode the
+// result AND the cache entry are written inside the lease Guard: both
+// commit only while the claim flock is held and the on-disk epoch still
+// matches, so a stale fenced worker can neither overwrite the successor's
+// result nor poison the cache.
+func (s *Server) commitResult(jb *job, res *Result) {
 	jb.mu.Lock()
 	hold := jb.hold
 	jb.mu.Unlock()
+
+	publish := func() error {
+		if err := s.store.WriteResult(res); err != nil {
+			return err
+		}
+		if res.State == StateDone && !res.Cached && s.cacheEnabled() && jb.fingerprint != "" {
+			entry := &CacheEntry{
+				Fingerprint:   jb.fingerprint,
+				SourceJob:     jb.id,
+				Renders:       res.Renders,
+				Attempts:      res.Attempts,
+				Units:         res.Units,
+				CreatedUnixNS: res.FinishedUnixNS,
+			}
+			if err := s.store.WriteCached(entry); err != nil {
+				// The cache is an optimization: a failed publish costs later
+				// identical specs a re-execution, never correctness.
+				s.logf("job %s: cache publish: %v (identical specs will re-run)", jb.id, err)
+			} else if n, err := s.store.EvictCachedOver(s.cfg.CacheMax); err != nil {
+				s.logf("cache: evict: %v", err)
+			} else if n > 0 {
+				hookIncBy(func(h *Hooks) *telemetry.Counter { return h.CacheEvicted }, n)
+			}
+		}
+		return nil
+	}
 	var werr error
 	if hold != nil {
-		// The fence in front of the terminal rename: the write commits only
-		// while the claim flock is held AND the on-disk epoch still matches
-		// this handle — a stale worker that woke up after a successor
-		// claimed the job gets ErrFenced here and its result is discarded,
-		// never applied over the successor's.
-		werr = hold.Guard(func() error { return s.store.WriteResult(res) })
+		werr = hold.Guard(publish)
 		if errors.Is(werr, lease.ErrFenced) {
 			s.logf("job %s: terminal write REJECTED by fence: %v", jb.id, werr)
 			jb.mu.Lock()
 			jb.fenced = true
 			jb.result = nil
 			jb.finished = time.Time{}
+			jb.cached = false
+			jb.cacheSource = ""
 			jb.mu.Unlock()
 			jb.setState(StateQueued, "terminal write fenced; successor owns the job")
 			hookTrace(telemetry.Event{Kind: "api.job.fenced", ID: jb.id, Detail: "terminal write rejected"})
 			return
 		}
 	} else {
-		werr = s.store.WriteResult(res)
+		werr = publish()
 	}
 	if werr != nil {
 		// The run is complete in memory but not durably terminal: the next
@@ -342,9 +443,9 @@ func (s *Server) finishJob(jb *job, state JobState, errMsg string, renders map[s
 		// identically — wasteful, not wrong.
 		s.logf("job %s: persist result: %v (job will re-run on next boot)", jb.id, werr)
 	}
-	jb.setState(state, errMsg)
-	hookTrace(telemetry.Event{Kind: "api.job." + string(state), ID: jb.id, Detail: errMsg})
-	switch state {
+	jb.setState(res.State, res.Error)
+	hookTrace(telemetry.Event{Kind: "api.job." + string(res.State), ID: jb.id, Detail: res.Error})
+	switch res.State {
 	case StateDone:
 		hookInc(func(h *Hooks) *telemetry.Counter { return h.Completed })
 	case StateFailed:
@@ -352,7 +453,99 @@ func (s *Server) finishJob(jb *job, state JobState, errMsg string, renders map[s
 	case StateCanceled:
 		hookInc(func(h *Hooks) *telemetry.Counter { return h.Canceled })
 	}
-	s.logf("job %s: %s (%d units, %d replayed)", jb.id, state, jb.prog.units.Load(), jb.prog.replayed.Load())
+	s.observeDuration(res)
+	s.logf("job %s: %s (%d units, %d replayed)", jb.id, res.State, jb.prog.units.Load(), jb.prog.replayed.Load())
+	s.settle(jb, res)
+}
+
+// observeDuration folds an executed (non-cached) job's wall-clock into
+// the EWMA the queue-full Retry-After derivation reads.
+func (s *Server) observeDuration(res *Result) {
+	if res.Cached || res.StartedUnixNS == 0 || res.FinishedUnixNS <= res.StartedUnixNS {
+		return
+	}
+	d := time.Duration(res.FinishedUnixNS - res.StartedUnixNS)
+	s.mu.Lock()
+	if s.avgJobDur == 0 {
+		s.avgJobDur = d
+	} else {
+		s.avgJobDur = (s.avgJobDur + d) / 2
+	}
+	s.mu.Unlock()
+}
+
+// settle reconciles the in-flight dedup registries after jb went
+// terminal. If jb led its fingerprint: a completed leader's result is
+// pushed to every attached follower (byte-identical renders, no
+// execution); a failed or canceled leader's outcome is NOT shareable, so
+// the first follower is promoted to execute and the rest keep following.
+// A follower that terminated on its own (DELETE) just detaches. Follower
+// depth slots are released here, in one place.
+func (s *Server) settle(jb *job, res *Result) {
+	fp := jb.fingerprint
+	if fp == "" {
+		return
+	}
+	var served []*job
+	var promote *job
+	s.mu.Lock()
+	if jb.follower {
+		jb.follower = false
+		s.depth--
+	}
+	if fs := s.followers[fp]; len(fs) > 0 {
+		// Detach jb wherever it sits in the follower list.
+		kept := fs[:0]
+		for _, f := range fs {
+			if f != jb {
+				kept = append(kept, f)
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.followers, fp)
+		} else {
+			s.followers[fp] = kept
+		}
+	}
+	if s.inflight[fp] == jb {
+		delete(s.inflight, fp)
+	}
+	if fs := s.followers[fp]; len(fs) > 0 && s.inflight[fp] == nil {
+		if res.State == StateDone {
+			// The leader completed: serve everyone.
+			served = fs
+			delete(s.followers, fp)
+		} else {
+			// No shareable result and nobody left executing: promote the
+			// first follower. It keeps its depth slot and rides the work
+			// channel's headroom; the rest stay attached to it.
+			promote = fs[0]
+			promote.follower = false
+			s.inflight[fp] = promote
+			if len(fs) > 1 {
+				s.followers[fp] = fs[1:]
+			} else {
+				delete(s.followers, fp)
+			}
+		}
+	}
+	depth := s.depth
+	s.mu.Unlock()
+	hookGaugeSet(func(h *Hooks) *telemetry.Gauge { return h.QueueDepth }, int64(depth))
+
+	for _, f := range served {
+		s.serveFollower(f, res)
+	}
+	if promote != nil {
+		promote.trace.Emit(telemetry.Event{Kind: "api.job.promoted", ID: promote.id,
+			Detail: "leader " + jb.id + " finished " + string(res.State) + " without a shareable result"})
+		select {
+		case s.work <- promote:
+		default:
+			// Channel momentarily full: hand off without blocking settle.
+			go func() { s.work <- promote }()
+		}
+	}
 }
 
 // firstLine trims an error to one line for event payloads.

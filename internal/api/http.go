@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"voltsmooth/internal/lease"
@@ -17,7 +18,9 @@ import (
 //	POST   /jobs             submit a campaign job  → 202 Accepted {id}
 //	GET    /jobs             list all job statuses
 //	GET    /jobs/{id}        one job's status + live progress
-//	GET    /jobs/{id}/events the job's scoped event trace (JSONL)
+//	GET    /jobs/{id}/events the job's scoped event trace (JSONL), or — with
+//	                         Accept: text/event-stream — a live SSE stream of
+//	                         progress snapshots ending in the terminal result
 //	GET    /jobs/{id}/result the terminal result (renders) — 409 until terminal
 //	DELETE /jobs/{id}        cancel (queued: immediate; running: cooperative)
 //	GET    /healthz          process liveness (200 while the process serves)
@@ -62,11 +65,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Drain check first: a draining server refuses before spending the
 	// client's quota tokens on a doomed submission. Like every other
-	// backpressure path, the 503 carries Retry-After — a restart (or a
-	// fleet peer) can be serving well within it.
+	// backpressure path, the 503 carries Retry-After — derived from the
+	// drain budget actually remaining, since a restart (or a fleet peer)
+	// can be serving well within it.
 	if s.isDraining() {
 		hookInc(func(h *Hooks) *telemetry.Counter { return h.Unavailable })
-		w.Header().Set("Retry-After", "10")
+		w.Header().Set("Retry-After", s.retryAfterDraining())
 		writeError(w, http.StatusServiceUnavailable, "server is draining; resubmit after restart")
 		return
 	}
@@ -93,6 +97,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Cross-tenant result cache (DESIGN §12): a spec whose fingerprint
+	// already has a completed execution is served instantly — the 202 is
+	// followed by an immediately-terminal job, with no queue slot spent.
+	fp := spec.ConfigFingerprint()
+	if s.leases == nil {
+		if e := s.cacheLookup(fp); e != nil {
+			s.admitCached(w, client, spec, fp, e)
+			return
+		}
+	}
+	// (Fleet mode skips the shortcut: the cached completion must still go
+	// through the job's lease fence, so it lands in runJob's claim-time
+	// cache check instead — same user-visible behavior, one code path.)
+
 	// Reserve a queue slot under the lock: the depth check and the
 	// increment are atomic, so an admitted job always has channel capacity
 	// waiting and the send below can never block.
@@ -100,7 +118,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining {
 		s.mu.Unlock()
 		hookInc(func(h *Hooks) *telemetry.Counter { return h.Unavailable })
-		w.Header().Set("Retry-After", "10")
+		w.Header().Set("Retry-After", s.retryAfterDraining())
 		writeError(w, http.StatusServiceUnavailable, "server is draining; resubmit after restart")
 		return
 	}
@@ -108,7 +126,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		hookInc(func(h *Hooks) *telemetry.Counter { return h.Rejected })
 		hookTrace(telemetry.Event{Kind: "api.reject.queue_full", ID: client})
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", s.retryAfterQueueFull())
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("admission queue is full (%d waiting); retry later", s.cfg.QueueCap))
 		return
@@ -129,13 +147,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	jb := &job{
-		id:       id,
-		client:   client,
-		spec:     spec,
-		created:  s.now(),
-		state:    StateQueued,
-		enqueued: true,
-		trace:    telemetry.NewTrace(s.cfg.EventsCap),
+		id:          id,
+		client:      client,
+		spec:        spec,
+		created:     s.now(),
+		fingerprint: fp,
+		state:       StateQueued,
+		enqueued:    true,
+		trace:       telemetry.NewTrace(s.cfg.EventsCap),
 	}
 	s.mu.Lock()
 	s.jobs[id] = jb
@@ -172,6 +191,114 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": string(StateQueued)})
 }
 
+// admitCached admits a submission whose fingerprint already has a cached
+// execution: the job is created durably (an acked job survives a crash,
+// cached or not), completed from the entry on the spot, and acked 202
+// already terminal — no queue slot, no worker, no execution.
+func (s *Server) admitCached(w http.ResponseWriter, client string, spec JobSpec, fp string, e *CacheEntry) {
+	id, err := s.store.AllocateID()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("allocate job id: %v", err))
+		return
+	}
+	jb := &job{
+		id:          id,
+		client:      client,
+		spec:        spec,
+		created:     s.now(),
+		fingerprint: fp,
+		state:       StateQueued,
+		trace:       telemetry.NewTrace(s.cfg.EventsCap),
+	}
+	s.mu.Lock()
+	s.jobs[id] = jb
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	if err := s.store.CreateJob(JobRecord{
+		ID: id, Client: client, Spec: spec, CreatedUnixNS: jb.created.UnixNano(),
+	}); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		for i, oid := range s.order {
+			if oid == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("persist job: %v", err))
+		return
+	}
+	hookInc(func(h *Hooks) *telemetry.Counter { return h.Admitted })
+	jb.trace.Emit(telemetry.Event{Kind: "api.job.queued", ID: id})
+	s.finishFromCache(jb, e)
+
+	w.Header().Set("Location", "/jobs/"+id)
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"id": id, "state": string(StateDone), "cached": "true", "cache_source": e.SourceJob,
+	})
+}
+
+// retryAfterDraining derives the draining 503's Retry-After from the
+// drain budget actually remaining — past the deadline this process is
+// gone and a restart (or a fleet peer on the same store) can admit. The
+// pre-derivation default of 10s stands when no deadline is known (Drain
+// hasn't recorded one, or it was called without a deadline).
+func (s *Server) retryAfterDraining() string {
+	s.mu.Lock()
+	dl := s.drainDeadline
+	s.mu.Unlock()
+	if dl.IsZero() {
+		return "10"
+	}
+	return retryAfterSeconds(dl.Sub(s.now()))
+}
+
+// retryAfterQueueFull estimates when a queue slot frees. On a saturated
+// server a slot opens roughly every avgJobDur/JobWorkers, so that is the
+// advertised wait once at least one job has executed; before any
+// completion the estimate falls back to the fleet scan interval (a peer
+// may pick the store's jobs up within one scan) or 5s single-process.
+// Clamped to [1s, 5m] — backoff guidance, not a promise.
+func (s *Server) retryAfterQueueFull() string {
+	s.mu.Lock()
+	avg := s.avgJobDur
+	s.mu.Unlock()
+	var d time.Duration
+	switch {
+	case avg > 0:
+		d = avg / time.Duration(s.cfg.JobWorkers)
+	case s.cfg.Fleet:
+		d = s.cfg.ScanInterval
+	default:
+		d = 5 * time.Second
+	}
+	if d > 5*time.Minute {
+		d = 5 * time.Minute
+	}
+	return retryAfterSeconds(d)
+}
+
+// retryAfterResult estimates when a non-terminal job's result will
+// exist: the average job duration minus how long this one has been
+// running, clamped to [1s, 1m]; 2s when nothing is known yet.
+func (s *Server) retryAfterResult(jb *job) string {
+	s.mu.Lock()
+	avg := s.avgJobDur
+	s.mu.Unlock()
+	jb.mu.Lock()
+	started := jb.started
+	jb.mu.Unlock()
+	if avg <= 0 || started.IsZero() {
+		return "2"
+	}
+	d := avg - s.now().Sub(started)
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return retryAfterSeconds(d)
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	sts := s.statuses()
 	for i := range sts {
@@ -204,12 +331,19 @@ func (s *Server) decorateOwner(st *Status) {
 	}
 }
 
-// handleEvents streams the job's scoped event ring as JSONL — the same
+// handleEvents serves a job's event surface in two modes, negotiated by
+// Accept. With "text/event-stream" it is a live Server-Sent-Events
+// stream of progress snapshots ending in the terminal result (sse.go);
+// otherwise it dumps the job's scoped event ring as JSONL — the same
 // format as the CLI's -trace export, bounded by the ring capacity.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	jb, ok := s.lookup(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.streamEvents(w, r, jb)
 		return
 	}
 	w.Header().Set("Content-Type", "application/jsonl")
@@ -231,7 +365,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	state := jb.state
 	jb.mu.Unlock()
 	if res == nil {
-		w.Header().Set("Retry-After", "2")
+		w.Header().Set("Retry-After", s.retryAfterResult(jb))
 		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; result exists once terminal", state))
 		return
 	}

@@ -137,6 +137,10 @@ func TestTwoJobsProgressDoesNotBleed(t *testing.T) {
 	_, hs := newTestServer(t, func(c *api.Config) {
 		c.JobWorkers = 2 // concurrent: the harshest interleaving
 		c.Metrics = reg
+		// This test pins progress isolation between two *executing* jobs;
+		// identical-spec dedup (DESIGN §12) would serve B from A's run, so
+		// opt out of the cache to keep both campaigns live.
+		c.DisableCache = true
 	})
 
 	var ackA, ackB map[string]string

@@ -1,0 +1,163 @@
+package api_test
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"voltsmooth/internal/api"
+)
+
+// retryAfterOf parses a response's Retry-After header as an integer or
+// fails the test.
+func retryAfterOf(t *testing.T, resp *http.Response) int {
+	t.Helper()
+	ra := resp.Header.Get("Retry-After")
+	n, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After = %q, want an integer", ra)
+	}
+	return n
+}
+
+// TestRetryAfterDrainBudget pins the draining 503's Retry-After to the
+// drain budget actually remaining: past the deadline this process is gone
+// and a restart (or fleet peer) can admit, so the header must never
+// exceed it.
+func TestRetryAfterDrainBudget(t *testing.T) {
+	srv, hs := newTestServer(t, nil)
+	const budget = 25 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain of an idle server: %v", err)
+	}
+
+	resp := submit(t, hs.URL, "tenant", tinySpec(), nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit: %d, want 503", resp.StatusCode)
+	}
+	if n := retryAfterOf(t, resp); n < 1 || n > int(budget/time.Second) {
+		t.Errorf("draining Retry-After = %d, want within the %s budget", n, budget)
+	}
+}
+
+// TestRetryAfterQueueFullFleetScanInterval pins the queue-full fallback
+// on a fresh fleet server: before any job has completed there is no
+// duration sample, so the advertised wait is the scan interval — one
+// scanner pass is when a peer can pick the store's jobs up.
+func TestRetryAfterQueueFullFleetScanInterval(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	rel := func() { once.Do(func() { close(release) }) }
+	defer rel()
+
+	_, hs := newFleetServer(t, t.TempDir(), "w1", func(c *api.Config) {
+		c.QueueCap = 1
+		c.ScanInterval = 2 * time.Second
+		c.BeforeJob = func(string) { <-release }
+	})
+
+	// First job occupies the worker, second fills the queue, third bounces.
+	submit(t, hs.URL, "tenant", tinySpec(), nil)
+	waitDepth := time.Now().Add(10 * time.Second)
+	var resp *http.Response
+	for {
+		resp = submit(t, hs.URL, "tenant", tinySpec(), nil)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted || time.Now().After(waitDepth) {
+			t.Fatalf("queue never filled: last status %d", resp.StatusCode)
+		}
+	}
+	if n := retryAfterOf(t, resp); n != 2 {
+		t.Errorf("fresh fleet queue-full Retry-After = %d, want the 2s scan interval", n)
+	}
+}
+
+// TestRetryAfterQueueFullDerivedFromJobDuration pins the saturated
+// steady state: once jobs have executed, the queue-full 429 advertises
+// roughly one worker-slot turnover (avg duration / workers) instead of a
+// hardcoded constant.
+func TestRetryAfterQueueFullDerivedFromJobDuration(t *testing.T) {
+	var parked atomic.Bool
+	release := make(chan struct{})
+	var once sync.Once
+	rel := func() { once.Do(func() { close(release) }) }
+	defer rel()
+
+	_, hs := newTestServer(t, func(c *api.Config) {
+		c.JobWorkers = 1
+		c.QueueCap = 1
+		// Identical specs would be deduped, not queued; this test is about
+		// admission backpressure, so it opts out.
+		c.DisableCache = true
+		c.BeforeJob = func(string) {
+			if parked.Load() {
+				<-release
+			}
+		}
+	})
+
+	// One executed job seeds the duration estimate.
+	var ack map[string]string
+	submit(t, hs.URL, "tenant", tinySpec(), &ack)
+	if st := waitTerminal(t, hs.URL, ack["id"]); st.State != api.StateDone {
+		t.Fatalf("seed job: %s", st.State)
+	}
+	var res api.Result
+	getJSON(t, hs.URL+"/jobs/"+ack["id"]+"/result", &res)
+	avgSecs := int((time.Duration(res.FinishedUnixNS-res.StartedUnixNS) + time.Second - 1) / time.Second)
+
+	parked.Store(true)
+	submit(t, hs.URL, "tenant", tinySpec(), nil) // occupies the worker
+	waitDepth := time.Now().Add(10 * time.Second)
+	var resp *http.Response
+	for {
+		resp = submit(t, hs.URL, "tenant", tinySpec(), nil)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted || time.Now().After(waitDepth) {
+			t.Fatalf("queue never filled: last status %d", resp.StatusCode)
+		}
+	}
+	// One worker: a slot turns over about every avg job duration. Allow
+	// the ceil slack of both the EWMA and the header formatting.
+	if n := retryAfterOf(t, resp); n < 1 || n > avgSecs+1 {
+		t.Errorf("derived queue-full Retry-After = %d, want within [1, %d] (one job takes ~%ds)", n, avgSecs+1, avgSecs)
+	}
+}
+
+// TestRetryAfterResultConflict pins the 409's header on a job with no
+// duration estimate yet: the pre-derivation "2" stands as the fallback.
+func TestRetryAfterResultConflict(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	rel := func() { once.Do(func() { close(release) }) }
+	defer rel()
+
+	_, hs := newTestServer(t, func(c *api.Config) {
+		c.JobWorkers = 1
+		c.BeforeJob = func(string) { <-release }
+	})
+	var ack map[string]string
+	submit(t, hs.URL, "tenant", tinySpec(), &ack)
+
+	resp, err := http.Get(hs.URL + "/jobs/" + ack["id"] + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result of running job: %d, want 409", resp.StatusCode)
+	}
+	if n := retryAfterOf(t, resp); n != 2 {
+		t.Errorf("no-estimate result 409 Retry-After = %d, want the 2s fallback", n)
+	}
+}

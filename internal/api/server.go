@@ -56,6 +56,20 @@ type Config struct {
 	// EventsCap bounds each job's event ring; <= 0 means 4096.
 	EventsCap int
 
+	// DisableCache turns the cross-tenant result cache and in-flight
+	// dedup (DESIGN §12) off: every job executes, nothing is shared. On
+	// by default because the campaign engine is deterministic — identical
+	// normalized specs render byte-identical figures, so sharing one
+	// execution is semantics-free.
+	DisableCache bool
+	// CacheMax bounds the cache at N fingerprints, evicting the oldest
+	// after each publish; <= 0 means unbounded.
+	CacheMax int
+	// SSEHeartbeat is the comment-heartbeat cadence of /jobs/{id}/events
+	// streams (keeps idle proxies from timing the stream out); <= 0
+	// means 15s.
+	SSEHeartbeat time.Duration
+
 	// Metrics, when non-nil, is served as JSON at GET /metrics.
 	Metrics *telemetry.Registry
 
@@ -109,6 +123,19 @@ type Server struct {
 	order    []string // submission order
 	depth    int // jobs admitted but not yet picked by a worker
 	draining bool
+	// drainDeadline is Drain's budget, recorded so the 503 Retry-After
+	// can report the actual time until a restart can admit again.
+	drainDeadline time.Time
+	// avgJobDur is an EWMA of executed jobs' wall-clock, feeding the
+	// queue-full Retry-After derivation.
+	avgJobDur time.Duration
+	// inflight maps fingerprint → the job executing it on this server
+	// (non-fleet dedup leadership); followers maps fingerprint → jobs
+	// attached to that execution, completed from its result when it
+	// lands. Fleet mode leaves both empty — cross-worker dedup rides the
+	// scanner and the durable cache instead.
+	inflight  map[string]*job
+	followers map[string][]*job
 
 	work     chan *job
 	stopPick chan struct{}
@@ -149,6 +176,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.EventsCap <= 0 {
 		cfg.EventsCap = 4096
 	}
+	if cfg.SSEHeartbeat <= 0 {
+		cfg.SSEHeartbeat = 15 * time.Second
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(format string, args ...any) {
@@ -173,13 +203,15 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	s := &Server{
-		cfg:      cfg,
-		store:    cfg.Store,
-		quotas:   newQuotas(cfg.QuotaRate, cfg.QuotaBurst, now),
-		logf:     logf,
-		now:      now,
-		jobs:     map[string]*job{},
-		stopPick: make(chan struct{}),
+		cfg:       cfg,
+		store:     cfg.Store,
+		quotas:    newQuotas(cfg.QuotaRate, cfg.QuotaBurst, now),
+		logf:      logf,
+		now:       now,
+		jobs:      map[string]*job{},
+		inflight:  map[string]*job{},
+		followers: map[string][]*job{},
+		stopPick:  make(chan struct{}),
 	}
 	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
 	if cfg.Fleet {
@@ -206,17 +238,20 @@ func New(cfg Config) (*Server, error) {
 	var recovered []*job
 	for _, sj := range stored {
 		jb := &job{
-			id:      sj.Record.ID,
-			client:  sj.Record.Client,
-			spec:    sj.Record.Spec,
-			created: time.Unix(0, sj.Record.CreatedUnixNS),
-			trace:   telemetry.NewTrace(cfg.EventsCap),
+			id:          sj.Record.ID,
+			client:      sj.Record.Client,
+			spec:        sj.Record.Spec,
+			created:     time.Unix(0, sj.Record.CreatedUnixNS),
+			fingerprint: sj.Record.Spec.ConfigFingerprint(),
+			trace:       telemetry.NewTrace(cfg.EventsCap),
 		}
 		if sj.Result != nil {
 			jb.state = sj.Result.State
 			jb.errMsg = sj.Result.Error
 			jb.result = sj.Result
 			jb.resumedUnits = sj.Result.ResumedUnits
+			jb.cached = sj.Result.Cached
+			jb.cacheSource = sj.Result.CacheSource
 			jb.prog.units.Store(sj.Result.Units)
 			if sj.Result.StartedUnixNS != 0 {
 				jb.started = time.Unix(0, sj.Result.StartedUnixNS)
@@ -236,12 +271,11 @@ func New(cfg Config) (*Server, error) {
 
 	// The channel is sized so an admission that passed the depth check
 	// can never block: QueueCap live slots plus one per recovered job
-	// preloaded before serving starts. Fleet mode adds headroom for the
-	// claim scanner's non-blocking enqueues of peer-abandoned jobs.
-	capacity := cfg.QueueCap + len(recovered)
-	if cfg.Fleet {
-		capacity += 64
-	}
+	// preloaded before serving starts, plus headroom for the dedup
+	// layer's follower promotions (settle re-enqueues without a fresh
+	// depth reservation) and, in fleet mode, the claim scanner's
+	// non-blocking enqueues of peer-abandoned jobs.
+	capacity := cfg.QueueCap + len(recovered) + 64
 	s.work = make(chan *job, capacity)
 	for _, jb := range recovered {
 		s.depth++
@@ -308,12 +342,13 @@ func (s *Server) scanOnce() {
 			// A peer admitted this job; mirror it locally so /jobs serves
 			// it and the claim path below can pick it up.
 			jb = &job{
-				id:      id,
-				client:  sj.Record.Client,
-				spec:    sj.Record.Spec,
-				created: time.Unix(0, sj.Record.CreatedUnixNS),
-				state:   StateQueued,
-				trace:   telemetry.NewTrace(s.cfg.EventsCap),
+				id:          id,
+				client:      sj.Record.Client,
+				spec:        sj.Record.Spec,
+				created:     time.Unix(0, sj.Record.CreatedUnixNS),
+				fingerprint: sj.Record.Spec.ConfigFingerprint(),
+				state:       StateQueued,
+				trace:       telemetry.NewTrace(s.cfg.EventsCap),
 			}
 			s.jobs[id] = jb
 			s.order = append(s.order, id)
@@ -337,6 +372,20 @@ func (s *Server) scanOnce() {
 		if l, err := lease.Load(s.cfg.LeaseFS, s.store.jobDir(id)); err == nil &&
 			l.LiveAt(s.now()) && l.WorkerID != s.cfg.WorkerID {
 			continue
+		}
+
+		// Dedup holdback (DESIGN §12): while an identical campaign is in
+		// flight under a different job, this one waits — whoever finishes
+		// first publishes the cache entry, and the next pass nominates
+		// this job straight into a cache hit. Without the holdback every
+		// scan would claim the job (epoch churn) just to step back again
+		// in runJob's leader check.
+		if s.cacheEnabled() {
+			if l := s.dedupLeader(jb.fingerprint); l != nil && l != jb {
+				if _, err := s.store.LoadCached(jb.fingerprint); err != nil {
+					continue
+				}
+			}
 		}
 
 		s.mu.Lock()
@@ -368,14 +417,16 @@ func (s *Server) scanOnce() {
 // heartbeat fences it if it truly lost the job.
 func (s *Server) adoptResult(jb *job, res *Result) {
 	jb.mu.Lock()
-	defer jb.mu.Unlock()
 	if jb.state.terminal() || jb.state == StateRunning {
+		jb.mu.Unlock()
 		return
 	}
 	jb.state = res.State
 	jb.errMsg = res.Error
 	jb.result = res
 	jb.resumedUnits = res.ResumedUnits
+	jb.cached = res.Cached
+	jb.cacheSource = res.CacheSource
 	jb.prog.units.Store(res.Units)
 	jb.prog.expDone.Store(uint64(len(res.Renders)))
 	if res.StartedUnixNS != 0 {
@@ -385,6 +436,8 @@ func (s *Server) adoptResult(jb *job, res *Result) {
 		jb.finished = time.Unix(0, res.FinishedUnixNS)
 	}
 	jb.trace.Emit(telemetry.Event{Kind: "api.job." + string(res.State), ID: jb.id, Detail: "adopted from peer result"})
+	jb.mu.Unlock()
+	jb.notify()
 	s.logf("job %s: adopted peer result (%s, %d units)", jb.id, res.State, res.Units)
 }
 
@@ -448,6 +501,12 @@ func (s *Server) isDraining() bool {
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
+	if dl, ok := ctx.Deadline(); ok {
+		// Recorded before the flag is visible, so every draining 503's
+		// Retry-After can report the real time until this process is gone
+		// and a restart (or fleet peer) admits again.
+		s.drainDeadline = dl
+	}
 	s.mu.Unlock()
 	hookGaugeSet(func(h *Hooks) *telemetry.Gauge { return h.Draining }, 1)
 	hookTrace(telemetry.Event{Kind: "api.drain.start"})

@@ -1,0 +1,102 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"voltsmooth/internal/telemetry"
+)
+
+// streamEvents serves GET /jobs/{id}/events as a Server-Sent-Events
+// stream (DESIGN §12): an immediate `progress` snapshot, another on every
+// job-scoped observer tick (runner OnEvent, journal OnReplay, state
+// transitions — coalesced through the job's watcher channel, so a slow
+// client sees fewer snapshots, never stale ones), comment heartbeats
+// every SSEHeartbeat, and finally a `result` event carrying the full
+// terminal Result, after which the stream ends. Progress units are fed
+// from monotonic atomic counters, so successive snapshots never go
+// backwards.
+//
+// The stream ends on: the terminal result (normal), the client
+// disconnecting (r.Context, which also unsubscribes the watcher), or the
+// server's hard stop (drain deadline / Close) — announced with a
+// `draining` event telling the client to reconnect after restart; a
+// graceful drain alone keeps streams open, since running jobs may still
+// finish inside the drain budget.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, jb *job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+
+	hookInc(func(h *Hooks) *telemetry.Counter { return h.SSEStreams })
+
+	// Subscribe before the first snapshot: a transition landing between
+	// the snapshot and the first select is a tick already waiting.
+	ch, stop := jb.watch()
+	defer stop()
+
+	snapshot := func() bool {
+		st := jb.status()
+		s.decorateOwner(&st)
+		writeSSE(w, "progress", st)
+		fl.Flush()
+		return st.State.terminal()
+	}
+	terminal := func() {
+		jb.mu.Lock()
+		res := jb.result
+		jb.mu.Unlock()
+		if res != nil {
+			writeSSE(w, "result", res)
+			fl.Flush()
+		}
+	}
+
+	if snapshot() {
+		terminal()
+		return
+	}
+	hb := time.NewTicker(s.cfg.SSEHeartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			// Client went away; the deferred stop() unsubscribes, and the
+			// coalescing watcher means no backlog was held for it.
+			return
+		case <-s.jobsCtx.Done():
+			fmt.Fprint(w, "event: draining\ndata: {}\n\n")
+			fl.Flush()
+			return
+		case <-ch:
+			if snapshot() {
+				terminal()
+				return
+			}
+		case <-hb.C:
+			// Comment line: ignored by EventSource parsers, keeps idle
+			// connections alive through proxies.
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+// writeSSE frames one event. SSE data may not contain raw newlines;
+// compact JSON marshaling guarantees a single line.
+func writeSSE(w io.Writer, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}

@@ -27,6 +27,18 @@ type Hooks struct {
 	Canceled  *telemetry.Counter
 	// Recovered counts unfinished jobs re-enqueued by boot-time recovery.
 	Recovered *telemetry.Counter
+	// CacheHits counts jobs served from the durable cross-tenant result
+	// cache; CacheMisses counts executions that checked it and ran;
+	// CacheFollowed counts jobs completed by attaching to an identical
+	// in-flight job; CacheEvicted counts entries removed by the CacheMax
+	// bound. (Fleet workers following a peer land in CacheHits — they
+	// adopt the peer's published entry once it exists.)
+	CacheHits     *telemetry.Counter
+	CacheMisses   *telemetry.Counter
+	CacheFollowed *telemetry.Counter
+	CacheEvicted  *telemetry.Counter
+	// SSEStreams counts /jobs/{id}/events event-stream connections.
+	SSEStreams *telemetry.Counter
 	// QueueDepth tracks jobs waiting in the admission queue.
 	QueueDepth *telemetry.Gauge
 	// Running tracks jobs currently executing.
@@ -49,6 +61,14 @@ func hookInc(c func(h *Hooks) *telemetry.Counter) {
 	if h := hooks.Load(); h != nil {
 		if counter := c(h); counter != nil {
 			counter.Inc()
+		}
+	}
+}
+
+func hookIncBy(c func(h *Hooks) *telemetry.Counter, n int) {
+	if h := hooks.Load(); h != nil {
+		if counter := c(h); counter != nil {
+			counter.Add(uint64(n))
 		}
 	}
 }

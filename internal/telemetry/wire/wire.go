@@ -74,6 +74,11 @@ const (
 	APIQueueDepth      = "api.queue_depth"
 	APIJobsRunning     = "api.jobs_running"
 	APIDraining        = "api.draining"
+	APICacheHits       = "api.cache_hits"
+	APICacheMisses     = "api.cache_misses"
+	APICacheFollowed   = "api.cache_followed"
+	APICacheEvicted    = "api.cache_evicted"
+	APISSEStreams      = "api.sse_streams"
 )
 
 // Install wires reg and tr into every instrumented package — pdn, sched,
@@ -156,18 +161,23 @@ func Install(reg *telemetry.Registry, tr *telemetry.Trace) func() {
 		Trace:     tr,
 	})
 	prevAPI := api.SetHooks(&api.Hooks{
-		Submitted:   counter(APIJobsSubmitted),
-		Admitted:    counter(APIJobsAdmitted),
-		Rejected:    counter(APIJobsRejected),
-		Unavailable: counter(APIJobsUnavailable),
-		Completed:   counter(APIJobsCompleted),
-		Failed:      counter(APIJobsFailed),
-		Canceled:    counter(APIJobsCanceled),
-		Recovered:   counter(APIJobsRecovered),
-		QueueDepth:  gauge(APIQueueDepth),
-		Running:     gauge(APIJobsRunning),
-		Draining:    gauge(APIDraining),
-		Trace:       tr,
+		Submitted:     counter(APIJobsSubmitted),
+		Admitted:      counter(APIJobsAdmitted),
+		Rejected:      counter(APIJobsRejected),
+		Unavailable:   counter(APIJobsUnavailable),
+		Completed:     counter(APIJobsCompleted),
+		Failed:        counter(APIJobsFailed),
+		Canceled:      counter(APIJobsCanceled),
+		Recovered:     counter(APIJobsRecovered),
+		CacheHits:     counter(APICacheHits),
+		CacheMisses:   counter(APICacheMisses),
+		CacheFollowed: counter(APICacheFollowed),
+		CacheEvicted:  counter(APICacheEvicted),
+		SSEStreams:    counter(APISSEStreams),
+		QueueDepth:    gauge(APIQueueDepth),
+		Running:       gauge(APIJobsRunning),
+		Draining:      gauge(APIDraining),
+		Trace:         tr,
 	})
 
 	return func() {
