@@ -61,6 +61,11 @@ func run(argv []string) int {
 		cacheMax     = fs.Int("cache-max", 0, "bound the result cache at N fingerprints, oldest evicted first (0 = unbounded)")
 		sseHeartbeat = fs.Duration("sse-heartbeat", 15*time.Second, "comment-heartbeat cadence of /jobs/{id}/events SSE streams")
 
+		// Priority scheduling + overload shedding (DESIGN §13).
+		preempt       = fs.Bool("preempt", true, "preempt the lowest-priority running job (at a run boundary, checkpointed) when a higher-priority job arrives and all slots are busy")
+		ageAfter      = fs.Duration("age-after", 30*time.Second, "queue aging quantum: a waiting job's effective priority improves one class per this much wait")
+		shedWatermark = fs.Int("shed-watermark", 0, "queue depth past which bulk submissions are shed with 429 (0 = 3/4 of -queue)")
+
 		// Fleet mode: any number of vsmoothd processes sharing one -store
 		// coordinate job ownership through durable per-job leases — a dead
 		// worker's jobs fail over to peers after -lease-ttl.
@@ -68,6 +73,10 @@ func run(argv []string) int {
 		workerID     = fs.String("worker-id", "", "this worker's unique fleet identity (default <hostname>-<pid>)")
 		leaseTTL     = fs.Duration("lease-ttl", 3*time.Second, "fleet job-lease TTL: how long a dead worker's jobs stay stuck before failover")
 		scanInterval = fs.Duration("scan-interval", 0, "fleet claim-scanner cadence (0 = lease-ttl/3)")
+
+		// Store maintenance: -fsck scrubs and exits instead of serving.
+		fsck       = fs.Bool("fsck", false, "scrub the store for crash debris (tmp orphans, stale lock sidecars, torn cache entries), report, and exit")
+		fsckRepair = fs.Bool("fsck-repair", false, "with -fsck: also remove what is provably safe to remove")
 
 		// chaosKillAtOp is the deterministic crash point of the kill-restart
 		// e2e: the Nth journal filesystem operation SIGKILLs this process —
@@ -91,6 +100,10 @@ func run(argv []string) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vsmoothd: %v\n", err)
 		return 1
+	}
+
+	if *fsck {
+		return runFsck(st, *fsckRepair)
 	}
 
 	// Process-wide telemetry: one registry + trace wired into every
@@ -141,6 +154,9 @@ func run(argv []string) int {
 		LeaseTTL:              *leaseTTL,
 		ScanInterval:          *scanInterval,
 		LeaseFS:               leaseFS,
+		Preempt:               *preempt,
+		AgeAfter:              *ageAfter,
+		ShedWatermark:         *shedWatermark,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vsmoothd: %v\n", err)
@@ -152,7 +168,18 @@ func run(argv []string) int {
 		fmt.Fprintf(os.Stderr, "vsmoothd: listen: %v\n", err)
 		return 1
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Connection hygiene: a slow-loris client (drip-feeding headers or a
+	// body, or simply never reading) must not hold a connection forever.
+	// The SSE endpoint outlives ReadTimeout on purpose — streamEvents
+	// clears the read deadline per request via http.ResponseController and
+	// enforces its own per-frame write deadline instead.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
 
 	ctx, caught, release := sigctx.WithSignals(context.Background())
 	defer release()
@@ -188,4 +215,34 @@ func run(argv []string) int {
 	code := sigctx.ExitCode(caught(), runErr)
 	fmt.Fprintf(os.Stderr, "vsmoothd: exit %d\n", code)
 	return code
+}
+
+// runFsck scrubs the store and prints one line per issue plus a summary.
+// Exit 0 when the store is clean OR every issue was repaired this run;
+// exit 1 while any issue remains on disk (so e2e can assert "fsck after a
+// kill test finds nothing it cannot fix").
+func runFsck(st *api.Store, repair bool) int {
+	rep, err := st.Fsck(repair, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "vsmoothd: "+format+"\n", args...)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vsmoothd: fsck: %v\n", err)
+		return 1
+	}
+	for _, iss := range rep.Issues {
+		status := "found"
+		if iss.Repaired {
+			status = "repaired"
+		}
+		fmt.Printf("fsck: %s %s %s", status, iss.Kind, iss.Path)
+		if iss.Detail != "" {
+			fmt.Printf(" (%s)", iss.Detail)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("fsck: %d issues (%d repaired)\n", len(rep.Issues), rep.Repaired)
+	if len(rep.Issues) > rep.Repaired {
+		return 1
+	}
+	return 0
 }

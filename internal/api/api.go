@@ -15,11 +15,14 @@
 // re-enqueued and resume from their journal, replaying finished units
 // bit-identically — the CLI's -resume become server-side crash recovery.
 //
-// The job lifecycle state machine (DESIGN §10):
+// The job lifecycle state machine (DESIGN §10, §13):
 //
 //	submit ─► queued ─► running ─► done
 //	             │          │    ─► failed
 //	             │          │    ─► canceled
+//	             │          ├─► suspended ─► queued  (preempted by a higher-
+//	             │          │                         priority job; resumes
+//	             │          │                         from its journal)
 //	             │          └─► queued        (server shutdown / crash;
 //	             └─► canceled                  re-enqueued on next boot)
 //
@@ -31,6 +34,7 @@
 package api
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -42,15 +46,28 @@ import (
 	"voltsmooth/internal/telemetry"
 )
 
+// ErrDeadlineInfeasible reports a job failed fast because it could no
+// longer meet its spec deadline: either the deadline already passed while
+// the job waited in the queue, or the remaining budget is smaller than the
+// server's average job duration. The job's worker slot is never spent on
+// a run that cannot complete in time.
+var ErrDeadlineInfeasible = errors.New("deadline infeasible: job cannot finish before its deadline")
+
 // JobState enumerates the lifecycle states.
 type JobState string
 
 const (
-	StateQueued   JobState = "queued"
-	StateRunning  JobState = "running"
-	StateDone     JobState = "done"
-	StateFailed   JobState = "failed"
-	StateCanceled JobState = "canceled"
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	// StateSuspended marks a job preempted at a run boundary by a
+	// higher-priority arrival: its journal holds every completed unit, it
+	// sits back on the priority queue (keeping its original admission
+	// seniority), and its next pick resumes it bit-identically. NOT
+	// terminal — a suspended job always runs again.
+	StateSuspended JobState = "suspended"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCanceled  JobState = "canceled"
 )
 
 // terminal reports whether a state is final.
@@ -78,7 +95,44 @@ type JobSpec struct {
 	// TimeoutMS is the whole-job deadline in milliseconds; 0 means the
 	// server default (which may be "none").
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Priority names the job's scheduling class: interactive|batch|bulk.
+	// Empty means batch. Interactive jobs jump the queue and may preempt
+	// running bulk/batch work; bulk jobs yield to everything but are aged
+	// toward the front so they can be delayed, never starved (DESIGN §13).
+	Priority string `json:"priority,omitempty"`
+	// DeadlineMS is a wall-clock completion deadline in milliseconds from
+	// admission; 0 means none. Unlike TimeoutMS (which bounds one
+	// execution), the deadline is absolute: queue wait counts against it,
+	// and a job that can no longer meet it fails fast with
+	// ErrDeadlineInfeasible instead of burning a worker slot.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
+
+// Priority classes, ordered by rank: lower rank runs first.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBatch       = "batch"
+	PriorityBulk        = "bulk"
+
+	rankInteractive = 0
+	rankBatch       = 1
+	rankBulk        = 2
+)
+
+// priorityRank maps a (validated) priority class to its base rank.
+func priorityRank(p string) int {
+	switch p {
+	case PriorityInteractive:
+		return rankInteractive
+	case PriorityBulk:
+		return rankBulk
+	default: // "", "batch"
+		return rankBatch
+	}
+}
+
+// rank is the job's base scheduling rank (before aging).
+func (j *job) rank() int { return priorityRank(j.spec.Priority) }
 
 // maxJobWorkers bounds a single job's sweep fan-out: one tenant must not
 // be able to claim every core of a shared fleet worker.
@@ -114,6 +168,17 @@ func (s JobSpec) Validate() (JobSpec, error) {
 	if s.TimeoutMS < 0 {
 		return s, fmt.Errorf("spec: timeout_ms must be non-negative, got %d", s.TimeoutMS)
 	}
+	switch s.Priority {
+	case "":
+		s.Priority = PriorityBatch
+	case PriorityInteractive, PriorityBatch, PriorityBulk:
+	default:
+		return s, fmt.Errorf("spec: priority must be one of %s|%s|%s, got %q",
+			PriorityInteractive, PriorityBatch, PriorityBulk, s.Priority)
+	}
+	if s.DeadlineMS < 0 {
+		return s, fmt.Errorf("spec: deadline_ms must be non-negative, got %d", s.DeadlineMS)
+	}
 	return s, nil
 }
 
@@ -121,7 +186,8 @@ func (s JobSpec) Validate() (JobSpec, error) {
 // campaign's rendered output — the experiment list, the scale, and the
 // fault-injection plan — and nothing that doesn't: Workers only shapes
 // fan-out (results are bit-identical at any width), Seed only jitters
-// retry backoff, TimeoutMS only bounds wall-clock. Two specs with equal
+// retry backoff, TimeoutMS/DeadlineMS only bound wall-clock, and
+// Priority only orders the queue. Two specs with equal
 // fingerprints render byte-identical figures, which is what licenses the
 // cross-tenant result cache (DESIGN §12) to share one execution between
 // them. Callers fingerprint the normalized (Validate'd) spec, so "all"
@@ -184,6 +250,16 @@ type job struct {
 	trace *telemetry.Trace
 	prog  progress
 
+	// enqueuedAt is the job's queue seniority: set at admission (and at a
+	// peer-mirror's first sight of the job), PRESERVED across
+	// suspend/requeue so a preempted job ages from its original wait, not
+	// from zero. Written only while the job is off the queue, read by the
+	// scheduler under Server.mu.
+	enqueuedAt time.Time
+	// deadline is the absolute completion deadline derived from
+	// spec.DeadlineMS at admission/recovery; zero means none.
+	deadline time.Time
+
 	mu           sync.Mutex
 	state        JobState
 	started      time.Time
@@ -192,10 +268,16 @@ type job struct {
 	resumedUnits int
 	recovered    bool // re-enqueued by boot-time recovery
 	canceled     bool // cancel requested (DELETE)
-	cancel       func()
-	result       *Result
-	cached       bool   // result served from the cache / a leader's run
-	cacheSource  string // job whose execution produced the renders
+	// preempted marks a cooperative cancel issued by the preemption
+	// scheduler (not a DELETE, not a drain): the run unwinds at its next
+	// boundary and the job suspends instead of finishing.
+	preempted bool
+	// preemptions counts how many times this job was suspended.
+	preemptions int
+	cancel      func()
+	result      *Result
+	cached      bool   // result served from the cache / a leader's run
+	cacheSource string // job whose execution produced the renders
 
 	// watchers are the SSE subscribers of /jobs/{id}/events: each gets a
 	// coalescing tick (buffered-1, non-blocking send) on every progress
@@ -224,6 +306,14 @@ func (j *job) isFenced() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.fenced
+}
+
+// isPreempted reports whether the preemption scheduler cancelled the
+// job's current run.
+func (j *job) isPreempted() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.preempted
 }
 
 // setState transitions the job, emits the lifecycle trace event, and
@@ -284,7 +374,12 @@ type Status struct {
 	// server crash or restart mid-run.
 	ResumedUnits int    `json:"resumed_units"`
 	Recovered    bool   `json:"recovered,omitempty"`
-	Error        string `json:"error,omitempty"`
+	// Preemptions counts how many times a higher-priority arrival
+	// suspended this job; DeadlineUnixNS is the absolute completion
+	// deadline derived from spec deadline_ms (0 = none).
+	Preemptions    int    `json:"preemptions,omitempty"`
+	DeadlineUnixNS int64  `json:"deadline_unix_ns,omitempty"`
+	Error          string `json:"error,omitempty"`
 	// Cached marks a job served from the cross-tenant result cache (or an
 	// identical in-flight job's execution) rather than its own run;
 	// CacheSource names the job whose execution produced the renders.
@@ -309,9 +404,13 @@ func (j *job) status() Status {
 		Progress:      j.prog.snapshot(len(j.spec.Experiments)),
 		ResumedUnits:  j.resumedUnits,
 		Recovered:     j.recovered,
+		Preemptions:   j.preemptions,
 		Error:         j.errMsg,
 		Cached:        j.cached,
 		CacheSource:   j.cacheSource,
+	}
+	if !j.deadline.IsZero() {
+		st.DeadlineUnixNS = j.deadline.UnixNano()
 	}
 	if !j.started.IsZero() {
 		st.StartedUnixNS = j.started.UnixNano()

@@ -57,6 +57,15 @@ func (s *Server) runJob(jb *job) {
 			} else {
 				s.logf("job %s: claim: %v", jb.id, err)
 			}
+			// A suspended job whose resume lost the claim race (a peer is
+			// already resuming it) steps back to queued — the worker loop
+			// only requeues suspended jobs, and a hot requeue here would
+			// spin against the peer's lease until it finished.
+			jb.mu.Lock()
+			if jb.state == StateSuspended {
+				jb.state = StateQueued
+			}
+			jb.mu.Unlock()
 			return
 		}
 		hold = h
@@ -65,7 +74,16 @@ func (s *Server) runJob(jb *job) {
 		jb.fenced = false
 		jb.mu.Unlock()
 		defer func() {
-			if err := hold.Release(); err != nil && !errors.Is(err, lease.ErrFenced) {
+			// A suspension releases "for requeue": the reason lands in the
+			// lease history, and the released lease is what lets ANY fleet
+			// peer (not just this worker) resume the suspended job.
+			reason := ""
+			jb.mu.Lock()
+			if jb.state == StateSuspended {
+				reason = "preempted"
+			}
+			jb.mu.Unlock()
+			if err := hold.ReleaseFor(reason); err != nil && !errors.Is(err, lease.ErrFenced) {
 				s.logf("job %s: release lease: %v (peers take over at TTL expiry)", jb.id, err)
 			}
 		}()
@@ -125,6 +143,25 @@ func (s *Server) runJob(jb *job) {
 		hookInc(func(h *Hooks) *telemetry.Counter { return h.CacheMisses })
 	}
 
+	// Deadline feasibility (DESIGN §13): a job whose absolute deadline has
+	// passed — or that hasn't produced a single unit yet and whose
+	// remaining budget is smaller than the average job — fails fast here
+	// instead of burning a worker slot on a run that cannot complete.
+	if !jb.deadline.IsZero() {
+		remaining := jb.deadline.Sub(s.now())
+		s.mu.Lock()
+		avg := s.avgJobDur
+		s.mu.Unlock()
+		fresh := jb.prog.units.Load() == 0
+		if remaining <= 0 || (fresh && avg > 0 && remaining < avg) {
+			hookInc(func(h *Hooks) *telemetry.Counter { return h.DeadlineInfeasible })
+			hookTrace(telemetry.Event{Kind: "api.job.deadline_infeasible", ID: jb.id})
+			s.finishJob(jb, StateFailed, fmt.Sprintf("%v (remaining %s, average job %s)",
+				ErrDeadlineInfeasible, remaining.Round(time.Millisecond), avg.Round(time.Millisecond)), nil, nil)
+			return
+		}
+	}
+
 	ctx, cancel := context.WithCancel(s.jobsCtx)
 	defer cancel()
 	timeout := s.cfg.DefaultTimeout
@@ -136,12 +173,28 @@ func (s *Server) runJob(jb *job) {
 		ctx, tcancel = context.WithTimeout(ctx, timeout)
 		defer tcancel()
 	}
+	if !jb.deadline.IsZero() {
+		// The spec deadline propagates into the run itself: when it fires
+		// mid-run the job unwinds at its next boundary and fails, journal
+		// intact.
+		var dcancel context.CancelFunc
+		ctx, dcancel = context.WithDeadline(ctx, jb.deadline)
+		defer dcancel()
+	}
 
 	jb.mu.Lock()
 	jb.cancel = cancel
 	jb.started = s.now()
 	jb.mu.Unlock()
 	jb.setState(StateRunning, "")
+	s.mu.Lock()
+	s.running[jb.id] = jb
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.running, jb.id)
+		s.mu.Unlock()
+	}()
 	hookGaugeAdd(func(h *Hooks) *telemetry.Gauge { return h.Running }, 1)
 	defer hookGaugeAdd(func(h *Hooks) *telemetry.Gauge { return h.Running }, -1)
 	hookTrace(telemetry.Event{Kind: "api.job.running", ID: jb.id})
@@ -256,6 +309,25 @@ func (s *Server) runJob(jb *job) {
 		s.logf("job %s: interrupted by shutdown after %d units; resumable", jb.id, jb.prog.units.Load())
 	case jb.isCanceled():
 		s.finishJob(jb, StateCanceled, "canceled", renders, attempts)
+	case runErr != nil && jb.isPreempted():
+		// Preempted by a higher-priority arrival: the run unwound at a run
+		// boundary with its journal checkpoint intact. Suspend — not
+		// terminal, no result.json — and let the worker loop requeue it
+		// (after this frame's defers release the lease in fleet mode, so a
+		// peer may just as well resume it). The journal must be healthy
+		// for the resume to replay; a poisoned one still resumes, it just
+		// re-executes (the same degradation crash recovery accepts).
+		jb.mu.Lock()
+		jb.preempted = false
+		jb.cancel = nil
+		jb.preemptions++
+		n := jb.preemptions
+		jb.mu.Unlock()
+		jb.setState(StateSuspended, "preempted; checkpoint kept, will resume")
+		hookInc(func(h *Hooks) *telemetry.Counter { return h.Preempted })
+		hookTrace(telemetry.Event{Kind: "api.job.suspended", ID: jb.id, Value: float64(n)})
+		s.logf("job %s: suspended after %d units (preemption #%d, journal %s)",
+			jb.id, jb.prog.units.Load(), n, jnl.Status())
 	case runErr != nil:
 		s.finishJob(jb, StateFailed, fmt.Sprintf("deadline: %v", runErr), renders, attempts)
 	case len(failed) > 0:
@@ -539,12 +611,9 @@ func (s *Server) settle(jb *job, res *Result) {
 	if promote != nil {
 		promote.trace.Emit(telemetry.Event{Kind: "api.job.promoted", ID: promote.id,
 			Detail: "leader " + jb.id + " finished " + string(res.State) + " without a shareable result"})
-		select {
-		case s.work <- promote:
-		default:
-			// Channel momentarily full: hand off without blocking settle.
-			go func() { s.work <- promote }()
-		}
+		// The promoted follower keeps the depth slot it already holds, so
+		// this enqueue does not bump depth.
+		s.enqueue(promote)
 	}
 }
 

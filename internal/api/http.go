@@ -112,14 +112,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// cache check instead — same user-visible behavior, one code path.)
 
 	// Reserve a queue slot under the lock: the depth check and the
-	// increment are atomic, so an admitted job always has channel capacity
-	// waiting and the send below can never block.
+	// increment are atomic, so an admitted job always owns a slot and the
+	// enqueue below can never over-fill the queue.
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		hookInc(func(h *Hooks) *telemetry.Counter { return h.Unavailable })
 		w.Header().Set("Retry-After", s.retryAfterDraining())
 		writeError(w, http.StatusServiceUnavailable, "server is draining; resubmit after restart")
+		return
+	}
+	// Overload shedding (DESIGN §13): past the watermark, bulk work is
+	// refused while interactive/batch can still use the remaining headroom.
+	// Shedding beats queue-stuffing — a bulk job admitted onto a saturated
+	// queue would only age into everyone's way; the 429 + Retry-After tells
+	// the tenant when a slot should plausibly free instead.
+	if priorityRank(spec.Priority) == rankBulk && s.depth >= s.cfg.ShedWatermark {
+		s.mu.Unlock()
+		hookInc(func(h *Hooks) *telemetry.Counter { return h.Rejected })
+		hookInc(func(h *Hooks) *telemetry.Counter { return h.Shed })
+		hookTrace(telemetry.Event{Kind: "api.reject.shed", ID: client})
+		w.Header().Set("Retry-After", s.retryAfterQueueFull())
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("bulk work shed: queue depth is past the watermark (%d); retry later", s.cfg.ShedWatermark))
 		return
 	}
 	if s.depth >= s.cfg.QueueCap {
@@ -156,6 +171,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		enqueued:    true,
 		trace:       telemetry.NewTrace(s.cfg.EventsCap),
 	}
+	jb.enqueuedAt = jb.created
+	if spec.DeadlineMS > 0 {
+		jb.deadline = jb.created.Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
+	}
 	s.mu.Lock()
 	s.jobs[id] = jb
 	s.order = append(s.order, id)
@@ -185,7 +204,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	hookGaugeSet(func(h *Hooks) *telemetry.Gauge { return h.QueueDepth }, int64(depth))
 	jb.trace.Emit(telemetry.Event{Kind: "api.job.queued", ID: id})
 	hookTrace(telemetry.Event{Kind: "api.job.queued", ID: id, Detail: client})
-	s.work <- jb
+	s.enqueue(jb)
+	s.maybePreempt(jb.rank())
 
 	w.Header().Set("Location", "/jobs/"+id)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": string(StateQueued)})
@@ -391,10 +411,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case state.terminal():
 		// Idempotent: already finished, report the state it finished in.
-	case state == StateQueued && s.leases != nil:
-		// Fleet mode: "queued" locally may be claimed by a peer. Take the
-		// lease first — the cancel's terminal write must go through the
-		// same fence as any other.
+	case (state == StateQueued || state == StateSuspended) && s.leases != nil:
+		// Fleet mode: "queued" (or suspended awaiting resume) locally may
+		// be claimed by a peer. Take the lease first — the cancel's
+		// terminal write must go through the same fence as any other.
 		h, err := s.leases.Claim(s.store.jobDir(jb.id), jb.id)
 		if err != nil {
 			writeError(w, http.StatusConflict, fmt.Sprintf("job is owned by another worker; cancel there or retry: %v", err))
@@ -417,9 +437,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		if err := h.Release(); err != nil && !errors.Is(err, lease.ErrFenced) {
 			s.logf("job %s: release after cancel: %v", jb.id, err)
 		}
-	case state == StateQueued:
+	case state == StateQueued || state == StateSuspended:
 		// Persist the terminal marker now, so the cancel survives a crash
-		// that happens before a worker dequeues the job.
+		// that happens before a worker dequeues the job. A suspended job is
+		// just a queued job with a checkpoint — cancel discards the resume.
 		s.finishJob(jb, StateCanceled, "canceled while queued", nil, nil)
 		state = StateCanceled
 	default:

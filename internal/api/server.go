@@ -56,6 +56,25 @@ type Config struct {
 	// EventsCap bounds each job's event ring; <= 0 means 4096.
 	EventsCap int
 
+	// Preempt enables priority preemption (DESIGN §13): when every worker
+	// slot is busy and a strictly higher-priority job arrives, the
+	// worst-ranked running job is cancelled at its next run boundary,
+	// suspended with its journal checkpoint intact, and requeued to resume
+	// bit-identically later. Off by default in the library (tests and
+	// embedders opt in); vsmoothd turns it on via -preempt.
+	Preempt bool
+	// AgeAfter is the queue's aging quantum: a waiting job's effective
+	// rank drops by one per AgeAfter waited, so bulk work is delayed but
+	// never starved (worst-case inversion 2*AgeAfter plus the work ahead
+	// at rank 0). <= 0 means 30s.
+	AgeAfter time.Duration
+	// ShedWatermark is the queue depth at or past which BULK submissions
+	// are shed with 429 + Retry-After instead of queued — under sustained
+	// overload the server degrades the lowest class first rather than
+	// stuffing the queue to the cap for everyone. <= 0 means 3/4 of
+	// QueueCap (minimum 1).
+	ShedWatermark int
+
 	// DisableCache turns the cross-tenant result cache and in-flight
 	// dedup (DESIGN §12) off: every job executes, nothing is shared. On
 	// by default because the campaign engine is deterministic — identical
@@ -69,6 +88,11 @@ type Config struct {
 	// streams (keeps idle proxies from timing the stream out); <= 0
 	// means 15s.
 	SSEHeartbeat time.Duration
+	// SSEWriteTimeout bounds each SSE frame write: a consumer that can't
+	// drain a frame within it is dropped (counted in api.sse_dropped)
+	// rather than pinning server memory or blocking the stream goroutine.
+	// <= 0 means 5s.
+	SSEWriteTimeout time.Duration
 
 	// Metrics, when non-nil, is served as JSON at GET /metrics.
 	Metrics *telemetry.Registry
@@ -136,8 +160,16 @@ type Server struct {
 	// scanner and the durable cache instead.
 	inflight  map[string]*job
 	followers map[string][]*job
+	// queue is the priority queue (queue.go): a slice under mu, picked by
+	// min (effectiveRank, enqueuedAt, id). running maps job ID → the job
+	// each local worker slot is executing — the preemption scheduler's
+	// victim pool.
+	queue   []*job
+	running map[string]*job
 
-	work     chan *job
+	// wake carries one token per enqueue to the worker pool; the queue
+	// itself holds the jobs (see signalWork for the overflow path).
+	wake     chan struct{}
 	stopPick chan struct{}
 	pickOnce sync.Once
 
@@ -179,6 +211,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SSEHeartbeat <= 0 {
 		cfg.SSEHeartbeat = 15 * time.Second
 	}
+	if cfg.SSEWriteTimeout <= 0 {
+		cfg.SSEWriteTimeout = 5 * time.Second
+	}
+	if cfg.AgeAfter <= 0 {
+		cfg.AgeAfter = 30 * time.Second
+	}
+	if cfg.ShedWatermark <= 0 {
+		cfg.ShedWatermark = cfg.QueueCap * 3 / 4
+		if cfg.ShedWatermark < 1 {
+			cfg.ShedWatermark = 1
+		}
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(format string, args ...any) {
@@ -211,6 +255,7 @@ func New(cfg Config) (*Server, error) {
 		jobs:      map[string]*job{},
 		inflight:  map[string]*job{},
 		followers: map[string][]*job{},
+		running:   map[string]*job{},
 		stopPick:  make(chan struct{}),
 	}
 	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
@@ -245,6 +290,10 @@ func New(cfg Config) (*Server, error) {
 			fingerprint: sj.Record.Spec.ConfigFingerprint(),
 			trace:       telemetry.NewTrace(cfg.EventsCap),
 		}
+		jb.enqueuedAt = jb.created
+		if jb.spec.DeadlineMS > 0 {
+			jb.deadline = jb.created.Add(time.Duration(jb.spec.DeadlineMS) * time.Millisecond)
+		}
 		if sj.Result != nil {
 			jb.state = sj.Result.State
 			jb.errMsg = sj.Result.Error
@@ -269,18 +318,18 @@ func New(cfg Config) (*Server, error) {
 		s.order = append(s.order, jb.id)
 	}
 
-	// The channel is sized so an admission that passed the depth check
-	// can never block: QueueCap live slots plus one per recovered job
-	// preloaded before serving starts, plus headroom for the dedup
-	// layer's follower promotions (settle re-enqueues without a fresh
-	// depth reservation) and, in fleet mode, the claim scanner's
-	// non-blocking enqueues of peer-abandoned jobs.
-	capacity := cfg.QueueCap + len(recovered) + 64
-	s.work = make(chan *job, capacity)
+	// The wake channel is sized so every token a realistic queue can
+	// carry fits the fast path: QueueCap live slots plus one per
+	// recovered job preloaded before serving starts, plus headroom for
+	// follower promotions, suspend-requeues, and the fleet scanner's
+	// enqueues. Overflow falls back to a delivering goroutine
+	// (signalWork) rather than losing the token.
+	s.wake = make(chan struct{}, cfg.QueueCap+len(recovered)+64)
 	for _, jb := range recovered {
 		s.depth++
 		jb.enqueued = true
-		s.work <- jb
+		s.queue = append(s.queue, jb)
+		s.signalWork()
 		hookInc(func(h *Hooks) *telemetry.Counter { return h.Recovered })
 		jb.trace.Emit(telemetry.Event{Kind: "api.job.recovered", ID: jb.id})
 		hookTrace(telemetry.Event{Kind: "api.job.recovered", ID: jb.id})
@@ -350,6 +399,10 @@ func (s *Server) scanOnce() {
 				state:       StateQueued,
 				trace:       telemetry.NewTrace(s.cfg.EventsCap),
 			}
+			jb.enqueuedAt = jb.created
+			if jb.spec.DeadlineMS > 0 {
+				jb.deadline = jb.created.Add(time.Duration(jb.spec.DeadlineMS) * time.Millisecond)
+			}
 			s.jobs[id] = jb
 			s.order = append(s.order, id)
 		}
@@ -389,6 +442,14 @@ func (s *Server) scanOnce() {
 		}
 
 		s.mu.Lock()
+		// The scanner's enqueues ride the same bounded headroom the old
+		// work channel gave them: past it, local workers are saturated and
+		// the next scan retries — the queue never grows without bound on
+		// peer work.
+		if s.depth >= s.cfg.QueueCap+64 {
+			s.mu.Unlock()
+			continue
+		}
 		jb.mu.Lock()
 		ok := !jb.enqueued && !jb.state.terminal() && jb.state != StateRunning
 		if ok {
@@ -396,18 +457,14 @@ func (s *Server) scanOnce() {
 		}
 		jb.mu.Unlock()
 		if ok {
-			select {
-			case s.work <- jb:
-				s.depth++
-			default:
-				// Channel full: local workers are saturated; the next scan
-				// retries.
-				jb.mu.Lock()
-				jb.enqueued = false
-				jb.mu.Unlock()
-			}
+			s.queue = append(s.queue, jb)
+			s.depth++
 		}
 		s.mu.Unlock()
+		if ok {
+			s.signalWork()
+			s.maybePreempt(jb.rank())
+		}
 	}
 }
 
@@ -457,29 +514,36 @@ func (s *Server) recoveredCount() int {
 	return n
 }
 
-// worker pulls jobs until the pick channel closes (drain) or the work
-// stream ends.
+// worker picks jobs off the priority queue until drain closes stopPick.
+// Each wake token licenses one pick attempt; a spurious token (the queue
+// emptied, or another worker won the race) just loops.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for {
 		select {
 		case <-s.stopPick:
 			return
-		case jb := <-s.work:
-			s.mu.Lock()
-			s.depth--
-			depth := s.depth
-			draining := s.draining
-			s.mu.Unlock()
-			hookGaugeSet(func(h *Hooks) *telemetry.Gauge { return h.QueueDepth }, int64(depth))
+		case <-s.wake:
+			jb, draining := s.dequeue()
 			if draining {
-				// Drained mid-dequeue: the job stays queued on disk (no
-				// result.json), so the next boot recovers it. Do not start
-				// work the drain deadline would only cut down.
-				jb.trace.Emit(telemetry.Event{Kind: "api.job.requeued", ID: jb.id, Detail: "server draining"})
+				// Drained mid-wake: queued jobs stay on disk (no
+				// result.json), so the next boot recovers them. Do not
+				// start work the drain deadline would only cut down.
 				return
 			}
+			if jb == nil {
+				continue
+			}
 			s.runJob(jb)
+			jb.mu.Lock()
+			suspended := jb.state == StateSuspended
+			jb.mu.Unlock()
+			if suspended {
+				// Preempted mid-run: runJob left it suspended with its
+				// checkpoint persisted and every defer (journal flock,
+				// fleet lease) already unwound. Back on the queue it goes.
+				s.requeueSuspended(jb)
+			}
 		}
 	}
 }

@@ -2,6 +2,7 @@ package api
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -26,11 +27,26 @@ import (
 // `draining` event telling the client to reconnect after restart; a
 // graceful drain alone keeps streams open, since running jobs may still
 // finish inside the drain budget.
+//
+// Slow-consumer protection: the stream is exempted from the http.Server
+// ReadTimeout (a long-lived GET sends no further bytes), but every frame
+// is written under a fresh SSEWriteTimeout deadline. A client that stalls
+// its receive window past the deadline fails the write; the watcher is
+// dropped — counted in api.sse_dropped — instead of pinning the
+// connection, its buffers, and a notifier slot forever.
 func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, jb *job) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
 		return
+	}
+	rc := http.NewResponseController(w)
+	// Lift the server-wide ReadTimeout for this request: an SSE client
+	// never sends again, so the read deadline would otherwise kill every
+	// stream outliving it. ErrNotSupported (custom ResponseWriter wrappers
+	// in tests) degrades to the server-wide behavior.
+	if err := rc.SetReadDeadline(time.Time{}); err != nil && !errors.Is(err, http.ErrNotSupported) {
+		s.logf("job %s: sse: clear read deadline: %v", jb.id, err)
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -39,17 +55,35 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, jb *job) {
 
 	hookInc(func(h *Hooks) *telemetry.Counter { return h.SSEStreams })
 
+	// flush pushes one frame under a per-frame write deadline. false means
+	// the client has stalled past SSEWriteTimeout (or the connection died):
+	// the caller must drop the stream.
+	flush := func() bool {
+		if err := rc.SetWriteDeadline(s.now().Add(s.cfg.SSEWriteTimeout)); err != nil && !errors.Is(err, http.ErrNotSupported) {
+			return false
+		}
+		fl.Flush()
+		if err := rc.SetWriteDeadline(time.Time{}); err != nil && !errors.Is(err, http.ErrNotSupported) {
+			return false
+		}
+		return true
+	}
+	dropped := func() {
+		hookInc(func(h *Hooks) *telemetry.Counter { return h.SSEDropped })
+		hookTrace(telemetry.Event{Kind: "api.sse.dropped", ID: jb.id})
+		s.logf("job %s: sse: slow consumer stalled past %s; dropping stream", jb.id, s.cfg.SSEWriteTimeout)
+	}
+
 	// Subscribe before the first snapshot: a transition landing between
 	// the snapshot and the first select is a tick already waiting.
 	ch, stop := jb.watch()
 	defer stop()
 
-	snapshot := func() bool {
+	snapshot := func() (term, ok bool) {
 		st := jb.status()
 		s.decorateOwner(&st)
 		writeSSE(w, "progress", st)
-		fl.Flush()
-		return st.State.terminal()
+		return st.State.terminal(), flush()
 	}
 	terminal := func() {
 		jb.mu.Lock()
@@ -57,11 +91,14 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, jb *job) {
 		jb.mu.Unlock()
 		if res != nil {
 			writeSSE(w, "result", res)
-			fl.Flush()
+			flush()
 		}
 	}
 
-	if snapshot() {
+	if term, ok := snapshot(); !ok {
+		dropped()
+		return
+	} else if term {
 		terminal()
 		return
 	}
@@ -75,18 +112,27 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, jb *job) {
 			return
 		case <-s.jobsCtx.Done():
 			fmt.Fprint(w, "event: draining\ndata: {}\n\n")
-			fl.Flush()
+			flush()
 			return
 		case <-ch:
-			if snapshot() {
+			term, ok := snapshot()
+			if !ok {
+				dropped()
+				return
+			}
+			if term {
 				terminal()
 				return
 			}
 		case <-hb.C:
 			// Comment line: ignored by EventSource parsers, keeps idle
-			// connections alive through proxies.
+			// connections alive through proxies. The heartbeat doubles as
+			// the stall detector for streams with no progress traffic.
 			fmt.Fprint(w, ": heartbeat\n\n")
-			fl.Flush()
+			if !flush() {
+				dropped()
+				return
+			}
 		}
 	}
 }

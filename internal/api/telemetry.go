@@ -39,6 +39,17 @@ type Hooks struct {
 	CacheEvicted  *telemetry.Counter
 	// SSEStreams counts /jobs/{id}/events event-stream connections.
 	SSEStreams *telemetry.Counter
+	// SSEDropped counts event-stream watchers dropped because the client
+	// stalled past the per-frame write deadline (slow-consumer shedding).
+	SSEDropped *telemetry.Counter
+	// Preempted counts runs suspended at a run boundary to yield their
+	// worker slot to a higher-priority arrival.
+	Preempted *telemetry.Counter
+	// Shed counts bulk submissions refused 429 past the shed watermark.
+	Shed *telemetry.Counter
+	// DeadlineInfeasible counts jobs failed fast because their deadline
+	// could no longer be met.
+	DeadlineInfeasible *telemetry.Counter
 	// QueueDepth tracks jobs waiting in the admission queue.
 	QueueDepth *telemetry.Gauge
 	// Running tracks jobs currently executing.

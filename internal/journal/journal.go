@@ -335,6 +335,39 @@ func (j *Journal) Len() int {
 	return len(j.entries)
 }
 
+// Status is a journal's typed lifecycle state, for callers that need to
+// report or branch on journal health without poking at errors: a
+// suspended job's checkpoint is resumable while "active" or "closed",
+// and degrades to re-execution when "poisoned".
+type Status string
+
+const (
+	// StatusActive: open and accepting Record appends.
+	StatusActive Status = "active"
+	// StatusClosed: cleanly closed; every recorded unit is durable and a
+	// reopen with Resume replays all of them.
+	StatusClosed Status = "closed"
+	// StatusPoisoned: a write/flush/fsync failed; the on-disk prefix up to
+	// the failure is still replayable, later units are not.
+	StatusPoisoned Status = "poisoned"
+)
+
+// Status reports the journal's current lifecycle state. Poisoned is
+// sticky and dominates closed — a journal closed after poisoning still
+// reports poisoned, because that is what the next resume will face.
+func (j *Journal) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.failure != nil:
+		return StatusPoisoned
+	case j.closed:
+		return StatusClosed
+	default:
+		return StatusActive
+	}
+}
+
 // Duplicates returns how many re-recorded keys load observed on resume:
 // appends beyond the first for the same key. The campaign's units are
 // deterministic, so duplicates decode identically and the last one wins;

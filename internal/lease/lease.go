@@ -104,6 +104,10 @@ type Event struct {
 	// acquisition times against.
 	PrevWorkerID      string `json:"prev_worker_id,omitempty"`
 	PrevExpiresUnixNS int64  `json:"prev_expires_unix_ns,omitempty"`
+	// Reason annotates a release: empty for an ordinary end-of-run
+	// release, "preempted" when the holder gave the job back mid-run for
+	// a peer to resume (ReleaseFor).
+	Reason string `json:"reason,omitempty"`
 }
 
 const (
@@ -401,7 +405,13 @@ func (h *Handle) Renew(units uint64) error {
 // released (not deleted — the record stays crash-visible), making the job
 // immediately claimable without waiting out the TTL. Releasing a lease
 // we no longer hold is ErrFenced and changes nothing.
-func (h *Handle) Release() error {
+func (h *Handle) Release() error { return h.ReleaseFor("") }
+
+// ReleaseFor is Release with a reason recorded in the history event —
+// "preempted" marks a release-for-requeue, where the holder suspended the
+// job mid-run and hands it to whichever peer (or itself) picks it next.
+// The lease-file semantics are identical to an ordinary release.
+func (h *Handle) ReleaseFor(reason string) error {
 	unlock, err := h.m.lockTx(h.jobDir)
 	if err != nil {
 		return err
@@ -420,9 +430,13 @@ func (h *Handle) Release() error {
 	}
 	h.lease = next
 	h.m.logEvent(h.jobDir, Event{Op: "release", JobID: next.JobID, WorkerID: next.WorkerID,
-		Epoch: next.Epoch, AtUnixNS: now.UnixNano()})
+		Epoch: next.Epoch, AtUnixNS: now.UnixNano(), Reason: reason})
 	hookInc(func(hk *Hooks) *telemetry.Counter { return hk.Releases })
-	hookTrace(telemetry.Event{Kind: "lease.release", ID: next.JobID, Value: float64(next.Epoch), Detail: next.WorkerID})
+	detail := next.WorkerID
+	if reason != "" {
+		detail += " (" + reason + ")"
+	}
+	hookTrace(telemetry.Event{Kind: "lease.release", ID: next.JobID, Value: float64(next.Epoch), Detail: detail})
 	return nil
 }
 

@@ -79,6 +79,11 @@ const (
 	APICacheFollowed   = "api.cache_followed"
 	APICacheEvicted    = "api.cache_evicted"
 	APISSEStreams      = "api.sse_streams"
+	APISSEDropped      = "api.sse_dropped"
+
+	APIJobsPreempted          = "api.jobs_preempted"
+	APIJobsShed               = "api.jobs_shed"
+	APIJobsDeadlineInfeasible = "api.jobs_deadline_infeasible"
 )
 
 // Install wires reg and tr into every instrumented package — pdn, sched,
@@ -161,23 +166,27 @@ func Install(reg *telemetry.Registry, tr *telemetry.Trace) func() {
 		Trace:     tr,
 	})
 	prevAPI := api.SetHooks(&api.Hooks{
-		Submitted:     counter(APIJobsSubmitted),
-		Admitted:      counter(APIJobsAdmitted),
-		Rejected:      counter(APIJobsRejected),
-		Unavailable:   counter(APIJobsUnavailable),
-		Completed:     counter(APIJobsCompleted),
-		Failed:        counter(APIJobsFailed),
-		Canceled:      counter(APIJobsCanceled),
-		Recovered:     counter(APIJobsRecovered),
-		CacheHits:     counter(APICacheHits),
-		CacheMisses:   counter(APICacheMisses),
-		CacheFollowed: counter(APICacheFollowed),
-		CacheEvicted:  counter(APICacheEvicted),
-		SSEStreams:    counter(APISSEStreams),
-		QueueDepth:    gauge(APIQueueDepth),
-		Running:       gauge(APIJobsRunning),
-		Draining:      gauge(APIDraining),
-		Trace:         tr,
+		Submitted:          counter(APIJobsSubmitted),
+		Admitted:           counter(APIJobsAdmitted),
+		Rejected:           counter(APIJobsRejected),
+		Unavailable:        counter(APIJobsUnavailable),
+		Completed:          counter(APIJobsCompleted),
+		Failed:             counter(APIJobsFailed),
+		Canceled:           counter(APIJobsCanceled),
+		Recovered:          counter(APIJobsRecovered),
+		CacheHits:          counter(APICacheHits),
+		CacheMisses:        counter(APICacheMisses),
+		CacheFollowed:      counter(APICacheFollowed),
+		CacheEvicted:       counter(APICacheEvicted),
+		SSEStreams:         counter(APISSEStreams),
+		SSEDropped:         counter(APISSEDropped),
+		Preempted:          counter(APIJobsPreempted),
+		Shed:               counter(APIJobsShed),
+		DeadlineInfeasible: counter(APIJobsDeadlineInfeasible),
+		QueueDepth:         gauge(APIQueueDepth),
+		Running:            gauge(APIJobsRunning),
+		Draining:           gauge(APIDraining),
+		Trace:              tr,
 	})
 
 	return func() {

@@ -263,6 +263,23 @@ func TestSmoke(t *testing.T) {
 	sv.stop(t, syscall.SIGTERM, 143)
 }
 
+// fsckStore runs `vsmoothd -fsck -fsck-repair` over the store and asserts
+// it exits 0 — the store was clean, or every piece of crash debris (tmp
+// orphans, stale lock sidecars, torn cache entries) was provably safe to
+// remove and was removed. Every kill test ends with this: a SIGKILLed
+// store must never hold damage the scrubber cannot repair.
+func fsckStore(t *testing.T, store string) {
+	t.Helper()
+	cmd := exec.Command(binPath, "-store", store, "-fsck", "-fsck-repair")
+	out, err := cmd.CombinedOutput()
+	if len(out) > 0 {
+		t.Logf("[fsck] %s", strings.TrimSpace(string(out)))
+	}
+	if err != nil {
+		t.Fatalf("fsck after kill found unrepairable damage: %v", err)
+	}
+}
+
 // TestKillRestartRecovery is the crash-recovery acceptance test. A
 // reference server runs the campaign uninterrupted. A second server runs
 // the same campaign but SIGKILLs itself at a deterministic journal
@@ -296,6 +313,11 @@ func TestKillRestartRecovery(t *testing.T) {
 		t.Fatalf("journal missing or empty after SIGKILL: %v", err)
 	}
 
+	// Scrub the freshly-torn store before restarting over it: the SIGKILL
+	// may have left tmp orphans mid-rename, and fsck must repair everything
+	// it finds without touching the journal the recovery depends on.
+	fsckStore(t, store)
+
 	// Restart over the same store: recovery re-enqueues and resumes.
 	again := startServer(t, store)
 	res := jobResult(t, again.base, id)
@@ -307,6 +329,7 @@ func TestKillRestartRecovery(t *testing.T) {
 		t.Errorf("resumed_units = %v, want > 0 (the journal must have replayed the pre-kill units)", res["resumed_units"])
 	}
 	again.stop(t, syscall.SIGTERM, 143)
+	fsckStore(t, store)
 }
 
 // TestDrainUnderLoad pins graceful shutdown with work in flight: SIGTERM

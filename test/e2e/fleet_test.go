@@ -146,6 +146,10 @@ func TestFleetKillFailover(t *testing.T) {
 		}
 	}
 	svB.stop(t, syscall.SIGTERM, 143)
+
+	// A died by SIGKILL mid-job: whatever debris it left (its lease lock
+	// sidecar, a torn tmp file) must be fully repairable.
+	fsckStore(t, store)
 }
 
 // TestFleetFenceStaleWorker pins the epoch fence end to end with real
@@ -242,4 +246,5 @@ func TestFleetFenceStaleWorker(t *testing.T) {
 	// The fenced worker is degraded, not broken: it still drains cleanly.
 	svA.stop(t, syscall.SIGTERM, 143)
 	svB.stop(t, syscall.SIGTERM, 143)
+	fsckStore(t, store)
 }
